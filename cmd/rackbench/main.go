@@ -1,0 +1,56 @@
+// Command rackbench regenerates the tables and figures of the RackBlox
+// evaluation (§4) on the simulated rack and prints them in paper order.
+//
+// Usage:
+//
+//	rackbench -list
+//	rackbench -exp fig9
+//	rackbench -exp all -scale 1.0
+//
+// Scale < 1 shrinks the measured window proportionally (useful for quick
+// looks); 1.0 reproduces the full-length runs recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rackblox/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale = flag.Float64("scale", 1.0, "measured-window scale in (0,1]")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, id := range experiments.All() {
+			fmt.Println("  " + id)
+		}
+		return
+	}
+
+	ids := experiments.All()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.ByID(strings.TrimSpace(id), experiments.Scale(*scale))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rackbench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Format())
+		}
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

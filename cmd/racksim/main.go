@@ -1,0 +1,130 @@
+// Command racksim runs one configurable rack simulation and prints a
+// latency and event summary — the quickest way to poke at the system.
+//
+// Example:
+//
+//	racksim -system rackblox -workload YCSB -writefrac 0.5 -duration 1s
+//	racksim -system vdc -workload Twitter -device Optane -net Slow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rackblox"
+
+	"rackblox/internal/flash"
+	"rackblox/internal/netsim"
+	"rackblox/internal/stats"
+)
+
+func systemByName(name string) (rackblox.System, error) {
+	switch strings.ToLower(name) {
+	case "vdc":
+		return rackblox.SystemVDC, nil
+	case "rackblox-software", "software", "rbsw":
+		return rackblox.SystemRackBloxSoftware, nil
+	case "rackblox-coordio", "coordio":
+		return rackblox.SystemRackBloxCoordIO, nil
+	case "rackblox", "rb":
+		return rackblox.SystemRackBlox, nil
+	}
+	return 0, fmt.Errorf("unknown system %q (vdc, software, coordio, rackblox)", name)
+}
+
+func main() {
+	var (
+		system    = flag.String("system", "rackblox", "vdc | software | coordio | rackblox")
+		wl        = flag.String("workload", "YCSB", "YCSB | TPC-H | Seats | AuctionMark | TPC-C | Twitter")
+		writeFrac = flag.Float64("writefrac", 0.5, "YCSB write fraction")
+		device    = flag.String("device", "P-SSD", "Optane | IntelDC | P-SSD")
+		network   = flag.String("net", "Medium", "Fast | Medium | Slow")
+		qdisc     = flag.String("qdisc", "", "switch egress policy: TB | FQ | Priority")
+		schedName = flag.String("sched", "Kyber", "storage scheduler: FIFO | Deadline | Kyber | CFQ")
+		duration  = flag.Duration("duration", time.Second, "measured window (virtual time)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		swiso     = flag.Bool("swiso", false, "software-isolated vSSD mode (Fig. 21)")
+		plot      = flag.Bool("plot", false, "render ASCII read/write latency CDFs")
+	)
+	flag.Parse()
+
+	cfg := rackblox.DefaultConfig()
+	sys, err := systemByName(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racksim:", err)
+		os.Exit(1)
+	}
+	cfg.System = sys
+	cfg.Seed = *seed
+	cfg.Duration = duration.Nanoseconds()
+	cfg.Qdisc = *qdisc
+	cfg.SoftwareIsolated = *swiso
+	if *swiso {
+		cfg.VSSDPairs = 2
+	}
+	switch strings.ToLower(*schedName) {
+	case "fifo":
+		cfg.SchedPolicy = rackblox.SchedFIFO
+	case "deadline":
+		cfg.SchedPolicy = rackblox.SchedDeadline
+	case "kyber":
+		cfg.SchedPolicy = rackblox.SchedKyber
+	case "cfq":
+		cfg.SchedPolicy = rackblox.SchedCFQ
+	default:
+		fmt.Fprintf(os.Stderr, "racksim: unknown scheduler %q\n", *schedName)
+		os.Exit(1)
+	}
+	cfg.Workload = rackblox.WorkloadSpec{Name: *wl, WriteFrac: *writeFrac, MeanGap: cfg.Workload.MeanGap}
+	if dev, err := flash.ProfileByName(*device); err == nil {
+		cfg.Device = dev
+	} else {
+		fmt.Fprintln(os.Stderr, "racksim:", err)
+		os.Exit(1)
+	}
+	if np, err := netsim.ProfileByName(*network); err == nil {
+		cfg.Net = np
+	} else {
+		fmt.Fprintln(os.Stderr, "racksim:", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	res, err := rackblox.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racksim:", err)
+		os.Exit(1)
+	}
+
+	reads, writes := res.Recorder.Reads(), res.Recorder.Writes()
+	fmt.Printf("system    %s  (%s on %s/%s, seed %d)\n", res.System, *wl, *device, *network, *seed)
+	fmt.Printf("requests  %d (%.1f KIOPS), simulated %v, wall %v\n",
+		res.Recorder.Len(), res.Recorder.Throughput()/1000,
+		time.Duration(res.SimulatedTime), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("reads     p50 %-10s p95 %-10s p99 %-10s p99.9 %s\n",
+		stats.Ms(reads.P50()), stats.Ms(reads.P95()), stats.Ms(reads.P99()), stats.Ms(reads.P999()))
+	if writes.Len() > 0 {
+		fmt.Printf("writes    p50 %-10s p95 %-10s p99 %-10s p99.9 %s\n",
+			stats.Ms(writes.P50()), stats.Ms(writes.P95()), stats.Ms(writes.P99()), stats.Ms(writes.P999()))
+	}
+	fmt.Printf("gc        %d events (%d delayed, %d background, %d forced), WA %.3f\n",
+		res.GCEvents, res.GCDelayed, res.BGGCEvents, res.ForcedGCs, res.WriteAmp)
+	fmt.Printf("switch    %d forwarded, %d redirected; %d software redirects\n",
+		res.Switch.Forwarded, res.Switch.Redirected, res.SWRedirects)
+	fmt.Printf("cache     %d read hits; hermes retries %d\n", res.CacheHits, res.StaleRetries)
+	fmt.Printf("events    %d discrete events\n", res.Events)
+	if res.Failovers > 0 || res.LostRequests > 0 {
+		fmt.Printf("failures  %d failovers, %d requests lost\n", res.Failovers, res.LostRequests)
+	}
+	if *plot {
+		fmt.Println()
+		fmt.Print(reads.PlotCDF("read latency CDF", 48))
+		if writes.Len() > 0 {
+			fmt.Println()
+			fmt.Print(writes.PlotCDF("write latency CDF", 48))
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package rackblox_test
+
+import (
+	"fmt"
+	"time"
+
+	"rackblox"
+)
+
+// Example runs the default RackBlox configuration and reports whether the
+// ToR switch coordinated any garbage collection.
+func Example() {
+	cfg := rackblox.DefaultConfig()
+	cfg.System = rackblox.SystemRackBlox
+	cfg.Duration = (400 * time.Millisecond).Nanoseconds()
+
+	res, err := rackblox.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completed:", res.Recorder.Len() > 0)
+	fmt.Println("switch redirected reads:", res.Switch.Redirected > 0)
+	// Output:
+	// completed: true
+	// switch redirected reads: true
+}
+
+// ExampleRun_comparison contrasts the VDC baseline with RackBlox on the
+// same workload — the paper's core comparison.
+func ExampleRun_comparison() {
+	var p999 [2]int64
+	for i, sys := range []rackblox.System{rackblox.SystemVDC, rackblox.SystemRackBlox} {
+		cfg := rackblox.DefaultConfig()
+		cfg.System = sys
+		res, err := rackblox.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		p999[i] = res.Recorder.Reads().P999()
+	}
+	fmt.Println("RackBlox beats VDC on P99.9 reads:", p999[1] < p999[0])
+	// Output:
+	// RackBlox beats VDC on P99.9 reads: true
+}
+
+// ExampleNewWearRack simulates a year of rack-scale wear leveling.
+func ExampleNewWearRack() {
+	cfg := rackblox.DefaultWearConfig()
+	rack, err := rackblox.NewWearRack(cfg)
+	if err != nil {
+		panic(err)
+	}
+	rack.RunWeeks(52)
+	fmt.Println("imbalance bounded:", rack.RackImbalance() < 1.3)
+	// Output:
+	// imbalance bounded: true
+}
+
+// ExampleExperiment regenerates one of the paper's tables.
+func ExampleExperiment() {
+	tables, err := rackblox.Experiment("table2", 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tables:", len(tables))
+	fmt.Println("rows:", len(tables[0].Rows))
+	// Output:
+	// tables: 1
+	// rows: 6
+}

@@ -1,0 +1,32 @@
+// Quickstart: run one RackBlox rack simulation with the default setup and
+// print the latency profile — the smallest possible use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rackblox"
+)
+
+func main() {
+	cfg := rackblox.DefaultConfig()
+	cfg.System = rackblox.SystemRackBlox
+	cfg.Duration = (500 * time.Millisecond).Nanoseconds()
+
+	res, err := rackblox.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reads := res.Recorder.Reads()
+	fmt.Printf("completed %d requests at %.1f KIOPS\n",
+		res.Recorder.Len(), res.Recorder.Throughput()/1000)
+	fmt.Printf("read latency: p50=%.2fms  p99=%.2fms  p99.9=%.2fms\n",
+		float64(reads.P50())/1e6, float64(reads.P99())/1e6, float64(reads.P999())/1e6)
+	fmt.Printf("the ToR switch redirected %d reads away from collecting vSSDs\n",
+		res.Switch.Redirected)
+	fmt.Printf("garbage collection: %d episodes, %d delayed to protect the replica\n",
+		res.GCEvents, res.GCDelayed)
+}

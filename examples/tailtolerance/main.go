@@ -1,0 +1,44 @@
+// Tail tolerance: the paper's headline experiment in miniature. Runs the
+// same YCSB mix on all four systems (VDC, RackBlox (Software), the
+// Coord-I/O ablation, and RackBlox) and prints the P99/P99.9 read
+// latencies side by side — the Fig. 9/10 comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rackblox"
+)
+
+func main() {
+	fmt.Println("YCSB 50/50 zipfian on four storage servers, P-SSD devices")
+	fmt.Printf("%-22s %10s %10s %10s %12s\n",
+		"system", "p50(ms)", "p99(ms)", "p99.9(ms)", "redirects")
+
+	var vdcP999 int64
+	for _, sys := range rackblox.Systems() {
+		cfg := rackblox.DefaultConfig()
+		cfg.System = sys
+		cfg.Duration = time.Second.Nanoseconds()
+		cfg.Workload.WriteFrac = 0.5
+
+		res, err := rackblox.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reads := res.Recorder.Reads()
+		if sys == rackblox.SystemVDC {
+			vdcP999 = reads.P999()
+		}
+		redirects := res.Switch.Redirected + res.SWRedirects
+		fmt.Printf("%-22s %10.2f %10.2f %10.2f %12d\n",
+			sys, float64(reads.P50())/1e6, float64(reads.P99())/1e6,
+			float64(reads.P999())/1e6, redirects)
+		if sys == rackblox.SystemRackBlox && vdcP999 > 0 {
+			fmt.Printf("\nRackBlox cuts the P99.9 read latency %.1fx vs VDC\n",
+				float64(vdcP999)/float64(reads.P999()))
+		}
+	}
+}

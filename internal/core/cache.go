@@ -1,0 +1,87 @@
+package core
+
+// cacheKey identifies one dirty page in a server's DRAM write cache.
+type cacheKey struct {
+	vssd uint32
+	lpn  uint32
+}
+
+// writeCache is the per-server DRAM cache that absorbs writes during GC
+// (§3.5.1: "We avoid long tail latencies for writes by utilizing existing
+// DRAM caches ... writes are considered complete when all replicas have a
+// DRAM copy and are flushed in the background").
+//
+// Rewriting a page that is already dirty is absorbed in place and costs no
+// new slot, so hot keys never back-pressure the client.
+type writeCache struct {
+	capacity int
+	dirty    map[cacheKey]bool
+	fifo     []cacheKey // flush order; may contain absorbed duplicates
+	// flushing counts pages popped for flush whose flash program has not
+	// completed: they still occupy DRAM, so they count against capacity.
+	flushing int
+	inserted int64
+	absorbed int64
+}
+
+func newWriteCache(capacity int) *writeCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &writeCache{capacity: capacity, dirty: make(map[cacheKey]bool)}
+}
+
+// Full reports whether a new (non-absorbed) insert would exceed capacity.
+func (c *writeCache) Full() bool { return len(c.dirty)+c.flushing >= c.capacity }
+
+// Len returns the number of dirty pages.
+func (c *writeCache) Len() int { return len(c.dirty) }
+
+// Contains reports whether the page is dirty (a cache read hit).
+func (c *writeCache) Contains(vssd, lpn uint32) bool {
+	return c.dirty[cacheKey{vssd, lpn}]
+}
+
+// Insert adds a dirty page. It returns false when the cache is full and
+// the write must wait for flush back-pressure; rewrites of already-dirty
+// pages always succeed.
+func (c *writeCache) Insert(vssd, lpn uint32) bool {
+	k := cacheKey{vssd, lpn}
+	if c.dirty[k] {
+		c.absorbed++
+		return true
+	}
+	if c.Full() {
+		return false
+	}
+	c.dirty[k] = true
+	c.fifo = append(c.fifo, k)
+	c.inserted++
+	return true
+}
+
+// NextFlush pops the oldest dirty page for background flushing, skipping
+// entries that were re-absorbed and already flushed. The page keeps
+// occupying DRAM until FlushDone.
+func (c *writeCache) NextFlush() (vssd, lpn uint32, ok bool) {
+	for len(c.fifo) > 0 {
+		k := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if c.dirty[k] {
+			delete(c.dirty, k)
+			c.flushing++
+			return k.vssd, k.lpn, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FlushDone releases the DRAM slot of a completed flush.
+func (c *writeCache) FlushDone() {
+	if c.flushing > 0 {
+		c.flushing--
+	}
+}
+
+// Stats returns insert and absorb counters.
+func (c *writeCache) Stats() (inserted, absorbed int64) { return c.inserted, c.absorbed }

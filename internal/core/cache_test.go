@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheInsertAndFull(t *testing.T) {
+	c := newWriteCache(2)
+	if c.Full() {
+		t.Fatal("empty cache full")
+	}
+	if !c.Insert(1, 10) || !c.Insert(1, 11) {
+		t.Fatal("inserts rejected below capacity")
+	}
+	if !c.Full() {
+		t.Fatal("cache not full at capacity")
+	}
+	if c.Insert(1, 12) {
+		t.Fatal("insert accepted over capacity")
+	}
+}
+
+func TestCacheAbsorbsRewrites(t *testing.T) {
+	c := newWriteCache(2)
+	c.Insert(1, 10)
+	for i := 0; i < 5; i++ {
+		if !c.Insert(1, 10) {
+			t.Fatal("rewrite of dirty page rejected")
+		}
+	}
+	ins, abs := c.Stats()
+	if ins != 1 || abs != 5 {
+		t.Fatalf("inserted=%d absorbed=%d, want 1/5", ins, abs)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheContainsPerVSSD(t *testing.T) {
+	c := newWriteCache(4)
+	c.Insert(1, 10)
+	if !c.Contains(1, 10) {
+		t.Fatal("missing dirty page")
+	}
+	if c.Contains(2, 10) {
+		t.Fatal("wrong vSSD matched")
+	}
+}
+
+func TestCacheFlushOrder(t *testing.T) {
+	c := newWriteCache(4)
+	c.Insert(1, 10)
+	c.Insert(1, 11)
+	c.Insert(1, 12)
+	v, lpn, ok := c.NextFlush()
+	if !ok || v != 1 || lpn != 10 {
+		t.Fatalf("first flush = %d/%d/%v, want oldest", v, lpn, ok)
+	}
+	_, lpn2, _ := c.NextFlush()
+	if lpn2 != 11 {
+		t.Fatalf("second flush = %d, want 11", lpn2)
+	}
+}
+
+func TestCacheFlushSkipsRewritten(t *testing.T) {
+	c := newWriteCache(4)
+	c.Insert(1, 10)
+	c.Insert(1, 11)
+	// Flush 10, then rewrite it: a new FIFO entry appears.
+	c.NextFlush()
+	c.FlushDone()
+	c.Insert(1, 10)
+	_, lpn, ok := c.NextFlush()
+	if !ok || lpn != 11 {
+		t.Fatalf("flush = %d, want 11 before the rewritten 10", lpn)
+	}
+	_, lpn, ok = c.NextFlush()
+	if !ok || lpn != 10 {
+		t.Fatalf("flush = %d, want rewritten 10", lpn)
+	}
+}
+
+func TestCacheFlushingCountsAgainstCapacity(t *testing.T) {
+	c := newWriteCache(2)
+	c.Insert(1, 10)
+	c.Insert(1, 11)
+	c.NextFlush() // 10 now flushing, still occupying DRAM
+	if !c.Full() {
+		t.Fatal("cache not full while flush in flight")
+	}
+	c.FlushDone()
+	if c.Full() {
+		t.Fatal("cache full after flush completed")
+	}
+	if !c.Insert(1, 12) {
+		t.Fatal("insert rejected after slot freed")
+	}
+}
+
+func TestCacheEmptyFlush(t *testing.T) {
+	c := newWriteCache(2)
+	if _, _, ok := c.NextFlush(); ok {
+		t.Fatal("flush from empty cache")
+	}
+	c.FlushDone() // must not underflow
+	if c.Full() {
+		t.Fatal("phantom flushing count")
+	}
+}
+
+// Property: Len never exceeds capacity and dirty+flushing is conserved
+// across any operation sequence.
+func TestCacheCapacityInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := newWriteCache(8)
+		flushing := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				c.Insert(uint32(op%2), uint32(op%16))
+			case 2:
+				if _, _, ok := c.NextFlush(); ok {
+					flushing++
+				}
+			case 3:
+				if flushing > 0 {
+					c.FlushDone()
+					flushing--
+				}
+			}
+			if c.Len() > 8 {
+				return false
+			}
+			if c.Len()+flushing > 8 && !c.Full() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

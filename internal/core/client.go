@@ -1,0 +1,230 @@
+package core
+
+import (
+	"rackblox/internal/packet"
+	"rackblox/internal/sim"
+	"rackblox/internal/stats"
+)
+
+// startClients schedules the first request of every pair. Each pair's
+// client issues its workload open-loop (Poisson-style gaps from the
+// generator) until stopIssuing. In the software-isolated mode the
+// collocated tenant of each channel group also runs a background write
+// load (Fig. 21 runs YCSB on both group members).
+func (r *Rack) startClients() {
+	for i, pr := range r.pairs {
+		pr := pr
+		r.eng.After(pr.gen.NextGap(), func(sim.Time) { r.issue(pr) })
+		if r.cfg.SoftwareIsolated {
+			for j, inst := range []*instance{pr.primary, pr.replica} {
+				inst := inst
+				rng := r.rng.Fork(int64(400 + 2*i + j))
+				keys := uint64(float64(inst.peer.FTL.LogicalPages()) * r.cfg.KeyspaceFrac)
+				if keys < 64 {
+					keys = 64
+				}
+				z := sim.NewZipf(rng, 0.99, keys)
+				r.eng.After(rng.Exp(r.cfg.Workload.MeanGap), func(sim.Time) {
+					r.peerLoad(inst, z, rng)
+				})
+			}
+		}
+	}
+}
+
+// peerLoad drives the collocated software-isolated tenant with writes that
+// consume its free blocks and occupy the shared channels.
+func (r *Rack) peerLoad(inst *instance, z *sim.Zipf, rng *sim.RNG) {
+	now := r.eng.Now()
+	if now < r.stopIssuing {
+		r.eng.After(rng.Exp(2*r.cfg.Workload.MeanGap), func(sim.Time) {
+			r.peerLoad(inst, z, rng)
+		})
+	}
+	lpn := int(z.Next())
+	addr, err := inst.peer.FTL.Write(lpn)
+	if err != nil {
+		// The peer is out of space: the channel group rebalances or
+		// collects at the next monitor round; drop this write.
+		return
+	}
+	inst.server.dev.TimeProgram(addr, nil)
+}
+
+// issue sends one request from the pair's generator and schedules the
+// next one. A full client window skips this arrival (semi-open loop).
+func (r *Rack) issue(pr *pair) {
+	now := r.eng.Now()
+	if now < r.stopIssuing {
+		r.eng.After(pr.gen.NextGap(), func(sim.Time) { r.issue(pr) })
+	}
+	if r.cfg.MaxClientInflight > 0 && pr.inflight >= r.cfg.MaxClientInflight {
+		return
+	}
+
+	op := pr.gen.Next()
+	r.seq++
+	st := &reqState{
+		seq:   r.seq,
+		write: op.Write,
+		lpn:   op.LPN,
+		pair:  pr,
+		issue: now,
+	}
+	r.reqs[st.seq] = st
+	pr.inflight++
+	r.watchTimeout(st.seq)
+
+	pkt := packet.Packet{
+		SrcIP: r.clientIP,
+		DstIP: pr.primary.server.ip,
+		Port:  packet.ReservedPort,
+		VSSD:  pr.primary.id,
+		LPN:   op.LPN,
+		Seq:   st.seq,
+	}
+	if op.Write {
+		pkt.Op = packet.OpWrite
+	} else {
+		pkt.Op = packet.OpRead
+	}
+
+	// Client -> ToR hop; INT accumulates the measured latency.
+	hop := r.net.HopLatency(now)
+	pkt.AddLatency(hop)
+	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+}
+
+// forwardFromSwitch delivers a switch-forwarded packet to its destination
+// over the ToR -> host hop.
+func (r *Rack) forwardFromSwitch(pkt packet.Packet) {
+	hop := r.net.HopLatency(r.eng.Now())
+	pkt.AddLatency(hop)
+	r.eng.After(hop, func(sim.Time) {
+		if pkt.DstIP == r.clientIP {
+			r.clientReceive(pkt)
+			return
+		}
+		for _, s := range r.servers {
+			if s.ip == pkt.DstIP {
+				// RackBlox (Software) redirection happens here, at the
+				// server boundary rather than in the switch.
+				if pkt.Op == packet.OpRead && r.cfg.System == RackBloxSoftware {
+					if fwd, ok := r.softwareRedirect(s, pkt); ok {
+						r.swRedirects++
+						_ = fwd
+						return
+					}
+				}
+				s.receive(pkt)
+				return
+			}
+		}
+		if r.controller != nil && pkt.DstIP == r.controller.ip {
+			r.controller.receive(pkt)
+		}
+	})
+}
+
+// softwareRedirect implements RackBlox (Software)'s server-side read
+// redirection: if the target vSSD is collecting and the server's cached
+// controller hint says the replica is idle, the server forwards the read
+// to the replica server itself — an extra 2-hop trip the hardware design
+// avoids.
+func (r *Rack) softwareRedirect(s *server, pkt packet.Packet) (packet.Packet, bool) {
+	inst, ok := s.insts[pkt.VSSD]
+	if !ok || !inst.v.InGC(r.eng.Now()) || !inst.replicaIdleHint {
+		return pkt, false
+	}
+	rep := r.insts[inst.replicaID]
+	if rep == nil || rep.v.InGC(r.eng.Now()) {
+		return pkt, false
+	}
+	fwd := pkt
+	fwd.VSSD = rep.id
+	fwd.DstIP = rep.server.ip
+	// Server -> ToR -> replica server: two hops of software redirection
+	// cost, plus the forwarding server's processing.
+	delay := serverProcTime + r.net.PathLatency(r.eng.Now(), 2)
+	fwd.AddLatency(delay)
+	r.eng.After(delay, func(sim.Time) { rep.server.receive(fwd) })
+	return fwd, true
+}
+
+// bounceRead returns a read to the coordination layer after its target
+// vSSD began collecting. In RackBlox the packet re-enters the ToR switch,
+// whose tables now redirect it; in RackBlox (Software) the server forwards
+// it to the replica itself using the controller's hint.
+func (r *Rack) bounceRead(inst *instance, st *reqState) {
+	pkt := packet.Packet{
+		Op:    packet.OpRead,
+		SrcIP: inst.server.ip,
+		DstIP: inst.server.ip, // Algorithm 1 rewrites this on redirect
+		Port:  packet.ReservedPort,
+		VSSD:  inst.id,
+		LPN:   st.lpn,
+		Seq:   st.seq,
+	}
+	if r.cfg.System == RackBloxSoftware {
+		rep := r.insts[inst.replicaID]
+		if rep != nil && inst.replicaIdleHint && !rep.v.InGC(r.eng.Now()) {
+			fwd := pkt
+			fwd.VSSD = rep.id
+			fwd.DstIP = rep.server.ip
+			delay := serverProcTime + r.net.PathLatency(r.eng.Now(), 2)
+			r.eng.After(delay, func(sim.Time) { rep.server.receive(fwd) })
+			r.swRedirects++
+			return
+		}
+		// No usable replica: serve in place after all.
+		r.eng.After(serverProcTime, func(sim.Time) { inst.server.receive(pkt) })
+		return
+	}
+	hop := r.net.HopLatency(r.eng.Now())
+	pkt.AddLatency(hop)
+	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+}
+
+// respond sends the completion back to the client through the switch.
+func (r *Rack) respond(st *reqState, inst *instance) {
+	pkt := packet.Packet{
+		Op:    packet.OpResponse,
+		SrcIP: inst.server.ip,
+		DstIP: r.clientIP,
+		Port:  packet.ReservedPort,
+		VSSD:  inst.id,
+		LPN:   st.lpn,
+		Seq:   st.seq,
+	}
+	hop := r.net.HopLatency(r.eng.Now())
+	pkt.AddLatency(hop)
+	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+}
+
+// clientReceive records the completed request.
+func (r *Rack) clientReceive(pkt packet.Packet) {
+	st, ok := r.reqs[pkt.Seq]
+	if !ok {
+		return
+	}
+	delete(r.reqs, pkt.Seq)
+	st.pair.inflight--
+	now := r.eng.Now()
+	if st.issue < r.cfg.Warmup {
+		return // warmup sample
+	}
+	queue := st.dispatched - st.arrival
+	device := st.deviceDone - st.dispatched
+	if st.dispatched == 0 || queue < 0 { // cache path or bounced read
+		queue, device = 0, st.deviceDone-st.arrival
+	}
+	r.rec.Add(stats.Sample{
+		Total:      now - st.issue,
+		NetIn:      st.netIn,
+		Queue:      queue,
+		Device:     device,
+		NetOut:     now - st.deviceDone,
+		Write:      st.write,
+		Redirected: st.redirected,
+	}, now)
+}

@@ -1,0 +1,265 @@
+// Package core composes the full rack: clients, the ToR switch, storage
+// servers with programmable SSDs, vSSD replica pairs kept consistent with
+// Hermes replication, and the four systems the paper evaluates — VDC,
+// RackBlox (Software), RackBlox-Coord I/O, and RackBlox. One Run simulates
+// the end-to-end life of every I/O request and returns latency
+// distributions and event counters.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rackblox/internal/flash"
+	"rackblox/internal/netsim"
+	"rackblox/internal/sched"
+	"rackblox/internal/sim"
+)
+
+// System selects which of the evaluated designs the rack runs.
+type System int
+
+const (
+	// VDC is the virtual-datacenter baseline [6]: end-to-end token-bucket
+	// isolation, storage treated as a black box, no GC coordination.
+	VDC System = iota
+	// RackBloxSoftware implements RackBlox's ideas in software on top of
+	// VDC: a controller grants GC and servers redirect reads themselves,
+	// paying extra network round trips (§4.1).
+	RackBloxSoftware
+	// RackBloxCoordIO is the ablation of §4.4: coordinated I/O scheduling
+	// enabled, coordinated GC disabled.
+	RackBloxCoordIO
+	// RackBlox is the full system: switch-based coordinated I/O
+	// scheduling and coordinated GC.
+	RackBlox
+)
+
+func (s System) String() string {
+	switch s {
+	case VDC:
+		return "VDC"
+	case RackBloxSoftware:
+		return "RackBlox (Software)"
+	case RackBloxCoordIO:
+		return "RackBlox-Coord I/O"
+	case RackBlox:
+		return "RackBlox"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Systems lists all four in evaluation order.
+func Systems() []System {
+	return []System{VDC, RackBloxSoftware, RackBloxCoordIO, RackBlox}
+}
+
+// WorkloadSpec selects the client workload per vSSD pair.
+type WorkloadSpec struct {
+	// Name is "YCSB" (uses WriteFrac) or one of the Table 2 workloads:
+	// TPC-H, Seats, AuctionMark, TPC-C, Twitter.
+	Name string
+	// WriteFrac applies to YCSB.
+	WriteFrac float64
+	// MeanGap is the mean interarrival time per vSSD (Poisson).
+	MeanGap sim.Time
+}
+
+// Config parameterizes one rack experiment.
+type Config struct {
+	System System
+	Seed   int64
+
+	// StorageServers is the number of storage servers (the testbed uses
+	// four plus one client server).
+	StorageServers int
+	// VSSDPairs is the number of primary+replica vSSD pairs.
+	VSSDPairs int
+	// ChannelsPerVSSD sets each hardware-isolated vSSD's channel count.
+	ChannelsPerVSSD int
+	// SoftwareIsolated switches to the Fig. 21 setup: two
+	// software-isolated vSSDs share each channel set as a channel group.
+	SoftwareIsolated bool
+	// SWIsolationIOPS is the per-vSSD token-bucket limit when
+	// SoftwareIsolated (0 = generous default).
+	SWIsolationIOPS float64
+
+	Geometry flash.Geometry
+	Device   flash.Profile
+	Net      netsim.Profile
+	// Qdisc names the switch egress policy: "", "TB", "FQ", "Priority".
+	Qdisc string
+
+	SchedPolicy sched.Policy
+	// CoordinatedOverride forces coordinated I/O scheduling on (1) or off
+	// (-1); 0 derives it from System.
+	CoordinatedOverride int
+
+	// GC thresholds as free-block ratios (§3.5.1).
+	SoftThreshold float64
+	GCThreshold   float64
+	// RestoreDelta is the hysteresis above the triggering threshold that a
+	// GC episode restores before stopping; small values keep episodes at a
+	// few bursts instead of long channel-blocking trains.
+	RestoreDelta float64
+	// GCCheckInterval is the periodic monitor period (the paper defaults
+	// to 30s on real hardware; simulations compress it).
+	GCCheckInterval sim.Time
+	// IdleGCThreshold gates background GC (30ms default).
+	IdleGCThreshold sim.Time
+	// GCRetries bounds gc_op retransmissions on reply loss.
+	GCRetries int
+	// GCReplyDropRate injects switch-reply loss for failure testing.
+	GCReplyDropRate float64
+	// MaxGCBlocksPerBurst caps one uncoordinated (regular/forced) GC
+	// event's reclaimed blocks, bounding the channel-blocked window to a
+	// few milliseconds per event.
+	MaxGCBlocksPerBurst int
+	// SoftBurstBlocks caps one redirection-protected soft episode; larger
+	// than MaxGCBlocksPerBurst because the replica absorbs reads
+	// meanwhile, but bounded so the partner's delay budget holds.
+	SoftBurstBlocks int
+	// MaxClientInflight bounds each pair's outstanding requests
+	// (semi-open loop: arrivals are Poisson but the window caps
+	// divergence under saturation, like a finite client thread pool).
+	MaxClientInflight int
+
+	// WriteCachePages sizes each server's DRAM write cache.
+	WriteCachePages int
+	// CacheHoldPages is the write-back watermark: dirty pages are flushed
+	// only above this level, so the hottest keys keep absorbing rewrites
+	// in DRAM. It controls how much of the write stream reaches flash.
+	CacheHoldPages int
+	// Utilization is the FTL logical/raw ratio.
+	Utilization float64
+	// KeyspaceFrac is the fraction of logical pages the workload touches
+	// (preconditioned to ~50% free blocks, §4.1).
+	KeyspaceFrac float64
+
+	Workload WorkloadSpec
+	// Warmup discards samples before this time; Duration measures after.
+	Warmup   sim.Time
+	Duration sim.Time
+
+	// FailServerIndex injects a server crash at FailServerAt; -1 disables
+	// (the default). Heartbeats detect the failure and the rack fails
+	// traffic over to the surviving replicas (§3.7).
+	FailServerIndex int
+	FailServerAt    sim.Time
+}
+
+// DefaultConfig returns the paper's default setup scaled to simulation:
+// four storage servers, four hardware-isolated vSSD pairs on P-SSDs,
+// Kyber scheduling, 35%/25% GC thresholds, YCSB 50/50 at moderate load.
+func DefaultConfig() Config {
+	return Config{
+		System:          RackBlox,
+		Seed:            1,
+		StorageServers:  4,
+		VSSDPairs:       4,
+		ChannelsPerVSSD: 2,
+		Geometry: flash.Geometry{
+			Channels:        8,
+			ChipsPerChannel: 4,
+			BlocksPerChip:   16,
+			PagesPerBlock:   32,
+			PageSize:        4096,
+		},
+		Device:              flash.ProfilePSSD(),
+		Net:                 netsim.ProfileMedium(),
+		SchedPolicy:         sched.Kyber,
+		SoftThreshold:       0.35,
+		GCThreshold:         0.25,
+		RestoreDelta:        0.04,
+		GCCheckInterval:     2 * sim.Millisecond,
+		IdleGCThreshold:     30 * sim.Millisecond,
+		GCRetries:           3,
+		MaxGCBlocksPerBurst: 1,
+		SoftBurstBlocks:     1,
+		MaxClientInflight:   32,
+		WriteCachePages:     2048,
+		CacheHoldPages:      128,
+		Utilization:         0.75,
+		KeyspaceFrac:        0.55,
+		Workload:            WorkloadSpec{Name: "YCSB", WriteFrac: 0.5, MeanGap: 200 * sim.Microsecond},
+		Warmup:              100 * sim.Millisecond,
+		Duration:            1000 * sim.Millisecond,
+		FailServerIndex:     -1,
+	}
+}
+
+// coordinated reports whether the storage scheduler uses network state.
+func (c *Config) coordinated() bool {
+	switch c.CoordinatedOverride {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	return c.System != VDC
+}
+
+// gcCoordinated reports whether GC is coordinated (switch or software).
+func (c *Config) gcCoordinated() bool {
+	return c.System == RackBlox || c.System == RackBloxSoftware
+}
+
+// defaultQdisc picks the paper's per-system default egress policy: VDC and
+// its software extension enforce token-bucket isolation; RackBlox uses the
+// switch's default priority isolation, which without cross-traffic has no
+// queueing (§4.1).
+func (c *Config) defaultQdisc() string {
+	if c.Qdisc != "" {
+		return c.Qdisc
+	}
+	if c.System == VDC || c.System == RackBloxSoftware {
+		return "TB"
+	}
+	return "None"
+}
+
+// Validate checks configuration invariants.
+func (c *Config) Validate() error {
+	if c.StorageServers < 2 {
+		return errors.New("core: need at least two storage servers for replication")
+	}
+	if c.VSSDPairs < 1 {
+		return errors.New("core: need at least one vSSD pair")
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	need := c.neededChannelsPerServer()
+	if need > c.Geometry.Channels {
+		return fmt.Errorf("core: %d vSSD pairs need %d channels/server, device has %d",
+			c.VSSDPairs, need, c.Geometry.Channels)
+	}
+	if !(c.GCThreshold < c.SoftThreshold) {
+		return fmt.Errorf("core: thresholds must order gc < soft, got %f %f",
+			c.GCThreshold, c.SoftThreshold)
+	}
+	if c.RestoreDelta <= 0 || c.SoftThreshold+c.RestoreDelta >= 1 {
+		return fmt.Errorf("core: restore delta %f out of range", c.RestoreDelta)
+	}
+	if c.Utilization <= 0 || c.Utilization >= 1 {
+		return fmt.Errorf("core: utilization %f outside (0,1)", c.Utilization)
+	}
+	if c.KeyspaceFrac <= 0 || c.KeyspaceFrac > 1 {
+		return fmt.Errorf("core: keyspace fraction %f outside (0,1]", c.KeyspaceFrac)
+	}
+	if c.Workload.MeanGap <= 0 {
+		return errors.New("core: workload mean gap must be positive")
+	}
+	if c.Duration <= 0 {
+		return errors.New("core: duration must be positive")
+	}
+	return nil
+}
+
+// neededChannelsPerServer computes channel demand per server: with P pairs
+// round-robin over S servers, each server hosts ceil(2P/S) vSSD instances.
+func (c *Config) neededChannelsPerServer() int {
+	instances := (2*c.VSSDPairs + c.StorageServers - 1) / c.StorageServers
+	return instances * c.ChannelsPerVSSD
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"rackblox/internal/sim"
+)
+
+// Failure handling (§3.7 "Others"): RackBlox detects failures with
+// heartbeats; on server failure it fails traffic over to the surviving
+// replicas and updates the switch tables. This file implements the
+// heartbeat detector, the failover transition, and client request
+// timeouts so open requests to a dead server do not leak.
+
+// HeartbeatInterval is the simulated server heartbeat period.
+const HeartbeatInterval = 10 * sim.Millisecond
+
+// missedHeartbeats is how many silent periods declare a server dead.
+const missedHeartbeats = 3
+
+// clientTimeout bounds how long the client waits for a response before
+// declaring the request lost (it was in flight to a server that died).
+const clientTimeout = 100 * sim.Millisecond
+
+// scheduleFailure arms the configured server-failure injection.
+func (r *Rack) scheduleFailure() {
+	if r.cfg.FailServerIndex < 0 || r.cfg.FailServerIndex >= len(r.servers) {
+		return
+	}
+	srv := r.servers[r.cfg.FailServerIndex]
+	r.eng.At(r.cfg.FailServerAt, func(sim.Time) {
+		srv.failed = true
+	})
+	// The heartbeat detector notices after three silent periods.
+	r.eng.At(r.cfg.FailServerAt+missedHeartbeats*HeartbeatInterval, func(sim.Time) {
+		r.onServerDetectedDead(srv)
+	})
+}
+
+// onServerDetectedDead performs the failover: every vSSD instance on the
+// dead server is replaced by its surviving replica in the switch tables,
+// and the survivors' replication groups degrade so writes commit alone.
+func (r *Rack) onServerDetectedDead(dead *server) {
+	if dead.detected {
+		return
+	}
+	dead.detected = true
+	r.failovers++
+	for _, pr := range r.pairs {
+		for _, inst := range []*instance{pr.primary, pr.replica} {
+			if inst.server != dead {
+				continue
+			}
+			survivor := r.insts[inst.replicaID]
+			if survivor == nil || survivor.server.failed {
+				continue // both copies lost; requests to this pair stall
+			}
+			// The switch rewrites the dead vSSD's traffic (control-plane
+			// update, one hop away).
+			hop := r.net.HopLatency(r.eng.Now())
+			deadID := inst.id
+			survivorID := survivor.id
+			r.eng.After(hop, func(sim.Time) {
+				r.sw.Failover(deadID, survivorID)
+			})
+			// The survivor's Hermes node stops waiting for the dead peer.
+			survivor.repl.RemovePeer(inst.repl.ID())
+			if r.controller != nil {
+				r.controller.inGC[deadID] = false
+			}
+		}
+	}
+}
+
+// watchTimeout arms the client-side loss detector for one request.
+func (r *Rack) watchTimeout(seq uint64) {
+	if r.cfg.FailServerIndex < 0 {
+		return // no failure configured; avoid per-request timer overhead
+	}
+	r.eng.After(clientTimeout, func(sim.Time) {
+		st, ok := r.reqs[seq]
+		if !ok {
+			return // completed
+		}
+		delete(r.reqs, seq)
+		st.pair.inflight--
+		r.lostRequests++
+	})
+}

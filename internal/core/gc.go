@@ -1,0 +1,324 @@
+package core
+
+import (
+	"rackblox/internal/packet"
+	"rackblox/internal/sim"
+	"rackblox/internal/ssd"
+)
+
+// startGCMonitors begins the periodic free-block checks of Algorithm 2 for
+// every instance. Iteration goes by pair order, not map order, so the RNG
+// draws — and therefore the whole simulation — stay deterministic.
+func (r *Rack) startGCMonitors() {
+	for _, pr := range r.pairs {
+		for _, inst := range []*instance{pr.primary, pr.replica} {
+			inst := inst
+			// Stagger first checks so instances do not phase-lock.
+			offset := sim.Time(r.rng.Int63n(int64(r.cfg.GCCheckInterval) + 1))
+			r.eng.After(offset, func(sim.Time) { r.monitorGC(inst) })
+		}
+	}
+}
+
+// monitorGC is one periodic check (Algorithm 2, trigger_gc).
+func (r *Rack) monitorGC(inst *instance) {
+	now := r.eng.Now()
+	if now < r.stopIssuing {
+		r.eng.After(r.cfg.GCCheckInterval, func(sim.Time) { r.monitorGC(inst) })
+	}
+	if inst.v.InGC(now) || inst.gcRequestInFlight {
+		return
+	}
+	ratio := r.freeRatio(inst)
+	var gcType packet.GCField
+	switch {
+	case ratio < r.cfg.GCThreshold:
+		gcType = packet.GCRegular
+	case ratio < r.cfg.SoftThreshold:
+		gcType = packet.GCSoft
+	case inst.idle.ShouldBackgroundGC() && ratio < r.cfg.SoftThreshold+2*r.cfg.RestoreDelta:
+		// Idle cycles top up the delay budget just above the soft
+		// threshold; background GC never digs further than that.
+		gcType = packet.GCBackground
+	default:
+		return
+	}
+
+	inst.lastGCType = gcType
+	switch r.cfg.System {
+	case RackBlox:
+		if gcType == packet.GCBackground {
+			// Background GC runs without approval; the gc_op only
+			// updates the switch state (§3.5.1).
+			inst.bgGCEvents++
+			r.startGCBurst(inst, r.restoreTarget(gcType))
+			r.notifySwitchGC(inst, packet.GCBackground)
+			return
+		}
+		r.sendGCOp(inst, gcType, 0)
+	case RackBloxSoftware:
+		if gcType == packet.GCBackground {
+			inst.bgGCEvents++
+			r.startGCBurst(inst, r.restoreTarget(gcType))
+			r.controller.notify(inst, true)
+			return
+		}
+		r.controller.requestGC(inst, gcType)
+	default:
+		// VDC and the Coord-I/O ablation garbage-collect uncoordinated,
+		// only when they must (below the hard threshold).
+		if gcType == packet.GCRegular {
+			r.startGCBurst(inst, r.restoreTarget(gcType))
+		}
+	}
+}
+
+// restoreTarget converts the triggering condition into the free ratio a GC
+// episode restores: a small hysteresis above the trigger. Background GC
+// works further ahead, using idle time to bank free blocks.
+func (r *Rack) restoreTarget(gcType packet.GCField) float64 {
+	switch gcType {
+	case packet.GCRegular:
+		return r.cfg.GCThreshold + r.cfg.RestoreDelta
+	case packet.GCBackground:
+		return r.cfg.SoftThreshold + 2*r.cfg.RestoreDelta
+	default:
+		return r.cfg.SoftThreshold + r.cfg.RestoreDelta
+	}
+}
+
+// freeRatio uses the channel-group ratio for software-isolated vSSDs
+// (§3.5.2) and the instance's own ratio otherwise.
+func (r *Rack) freeRatio(inst *instance) float64 {
+	if inst.group != nil {
+		inst.group.Rebalance()
+		return inst.group.FreeRatio()
+	}
+	return inst.v.FTL.FreeRatio()
+}
+
+// sendGCOp transmits a gc_op to the ToR switch with retransmission
+// (3 retries by default; an unacknowledged regular request collects
+// anyway, §3.5.1).
+func (r *Rack) sendGCOp(inst *instance, gcType packet.GCField, attempt int) {
+	inst.gcRequestInFlight = true
+	epoch := inst.gcRetries // any reply bumps this; timers compare it
+	r.gcOpsSent++
+	pkt := packet.Packet{
+		Op:    packet.OpGC,
+		GC:    gcType,
+		VSSD:  inst.id,
+		SrcIP: inst.server.ip,
+		Port:  packet.ReservedPort,
+	}
+	hop := r.net.HopLatency(r.eng.Now())
+	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+	r.eng.After(hop+gcReplyTimeout, func(sim.Time) {
+		if !inst.gcRequestInFlight || inst.gcRetries != epoch {
+			return // reply arrived
+		}
+		if attempt+1 <= r.cfg.GCRetries {
+			r.gcOpRetries++
+			r.sendGCOp(inst, gcType, attempt+1)
+			return
+		}
+		// Retries exhausted (link or switch failure).
+		inst.gcRequestInFlight = false
+		if gcType == packet.GCRegular {
+			r.forcedGCs++
+			r.startGCBurst(inst, r.restoreTarget(gcType))
+		}
+	})
+}
+
+// notifySwitchGC sends a fire-and-forget gc_op state update.
+func (r *Rack) notifySwitchGC(inst *instance, gcType packet.GCField) {
+	pkt := packet.Packet{
+		Op:    packet.OpGC,
+		GC:    gcType,
+		VSSD:  inst.id,
+		SrcIP: inst.server.ip,
+		Port:  packet.ReservedPort,
+	}
+	hop := r.net.HopLatency(r.eng.Now())
+	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+}
+
+// handleGCReply processes the switch's accept/delay answer.
+func (r *Rack) handleGCReply(inst *instance, pkt packet.Packet) {
+	inst.gcRequestInFlight = false
+	inst.gcRetries++ // epoch bump cancels pending retransmission timers
+	switch pkt.GC {
+	case packet.GCAccept:
+		if !inst.v.InGC(r.eng.Now()) {
+			r.startGCBurst(inst, r.restoreTarget(inst.lastGCType))
+		}
+	case packet.GCDelay:
+		inst.gcDelayed++
+		// The next periodic check retries; by then the replica has
+		// hopefully finished its own collection.
+	}
+}
+
+// startGCBurst reclaims blocks until the restore target and blocks the
+// involved flash channels for the work's duration.
+//
+// Soft and background episodes run to their restore target in one
+// protected window: reads are redirected to the replica throughout, and
+// the reclaimed headroom is what keeps the two replicas' GC staggered
+// ("to make room for delaying GC", §3.5.1). Forced/regular GC — the
+// uncoordinated path VDC always takes — does only the minimal capped work
+// needed to keep accepting writes, because nothing shields reads from it.
+func (r *Rack) startGCBurst(inst *instance, target float64) {
+	cap := r.cfg.MaxGCBlocksPerBurst
+	if r.cfg.gcCoordinated() && inst.lastGCType == packet.GCSoft {
+		cap = r.cfg.SoftBurstBlocks // protected episode: bigger chunk
+	}
+	var burst ssd.BurstResult
+	if inst.group != nil {
+		burst = inst.group.GroupCollect(target, cap)
+	} else {
+		burst = inst.v.FTL.CollectBurst(target, cap)
+	}
+	if burst.Blocks == 0 {
+		r.finishGC(inst)
+		return
+	}
+	inst.gcEvents++
+	var end sim.Time
+	for ch, dur := range burst.PerChannel {
+		_, e := inst.server.dev.OccupyChannel(ch, dur)
+		if e > end {
+			end = e
+		}
+	}
+	inst.v.StartGC(end)
+	if r.TraceGC != nil {
+		r.TraceGC(inst.id, inst.lastGCType, r.eng.Now(), end, burst.Blocks)
+	}
+	r.eng.At(end, func(sim.Time) {
+		// A protected soft episode stays open — switch bit set, reads
+		// redirected — until the ratio is restored. Closing and
+		// immediately reopening would let reads slip into the gap and
+		// stall behind the next chunk's channel reservation.
+		if r.cfg.gcCoordinated() && inst.lastGCType == packet.GCSoft &&
+			r.freeRatio(inst) < r.cfg.SoftThreshold {
+			// Continue the protected episode chunk by chunk. Any read
+			// that slipped past the switch before the GC bit was set has
+			// already reserved the channel behind the finished chunk, so
+			// it drains before the next chunk's reservation: slip
+			// exposure is bounded by one chunk, not the whole train.
+			inst.server.flushPump(inst)
+			inst.server.pump(inst)
+			r.startGCBurst(inst, target)
+			return
+		}
+		inst.v.FinishGC()
+		r.finishGC(inst)
+		inst.server.flushPump(inst)
+		inst.server.pump(inst)
+	})
+}
+
+// finishGC clears coordination state after a burst completes.
+func (r *Rack) finishGC(inst *instance) {
+	switch r.cfg.System {
+	case RackBlox:
+		r.notifySwitchGC(inst, packet.GCFinish)
+	case RackBloxSoftware:
+		r.controller.notify(inst, false)
+	}
+}
+
+// forceGC is the synchronous out-of-space path: collect immediately and
+// tell the coordinator about it after the fact.
+func (s *server) forceGC(inst *instance) {
+	r := s.rack
+	r.forcedGCs++
+	if inst.v.InGC(r.eng.Now()) {
+		// Burst timing already accounted; reclaim state only so the
+		// caller's retry can allocate.
+		inst.v.FTL.CollectBurst(r.cfg.GCThreshold, r.cfg.MaxGCBlocksPerBurst)
+		return
+	}
+	r.startGCBurst(inst, r.restoreTarget(packet.GCRegular))
+	if r.cfg.System == RackBlox {
+		r.notifySwitchGC(inst, packet.GCRegular)
+	}
+}
+
+// controller is the logically centralized VDC controller that RackBlox
+// (Software) extends with GC awareness (§4.1). It runs on its own server:
+// every interaction costs two network hops each way plus processing.
+type controller struct {
+	rack     *Rack
+	ip       uint32
+	inGC     map[uint32]bool
+	replicas map[uint32]uint32
+}
+
+func newController(r *Rack) *controller {
+	return &controller{
+		rack:     r,
+		ip:       packet.IP4(10, 0, 0, 250),
+		inGC:     make(map[uint32]bool),
+		replicas: make(map[uint32]uint32),
+	}
+}
+
+func (c *controller) register(pri, rep *instance) {
+	c.replicas[pri.id] = rep.id
+	c.replicas[rep.id] = pri.id
+}
+
+// receive exists for symmetry with servers; controller traffic in this
+// simulation flows through direct scheduling in requestGC/notify.
+func (c *controller) receive(pkt packet.Packet) {}
+
+// requestGC asks the controller for permission to collect. The reply
+// carries the replica's state so the server can redirect reads itself.
+func (c *controller) requestGC(inst *instance, gcType packet.GCField) {
+	r := c.rack
+	inst.gcRequestInFlight = true
+	trip := r.net.PathLatency(r.eng.Now(), 2) + controllerProc
+	r.eng.After(trip, func(sim.Time) {
+		replicaBusy := c.inGC[c.replicas[inst.id]]
+		grant := gcType != packet.GCSoft || !replicaBusy
+		if grant {
+			c.inGC[inst.id] = true
+			// Tell the replica's server its peer is collecting so it
+			// stops redirecting toward it (stale by one trip, the
+			// software coordination cost).
+			if rep := r.insts[c.replicas[inst.id]]; rep != nil {
+				rep.replicaIdleHint = false
+			}
+		} else {
+			r.delayedByCtrl++
+		}
+		back := r.net.PathLatency(r.eng.Now(), 2)
+		r.eng.After(back, func(sim.Time) {
+			inst.gcRequestInFlight = false
+			inst.replicaIdleHint = !replicaBusy
+			if grant {
+				if !inst.v.InGC(r.eng.Now()) {
+					r.startGCBurst(inst, r.restoreTarget(gcType))
+				}
+			} else {
+				inst.gcDelayed++
+			}
+		})
+	})
+}
+
+// notify updates the controller's GC state (start of background GC or
+// finish of any GC), fire-and-forget.
+func (c *controller) notify(inst *instance, started bool) {
+	r := c.rack
+	trip := r.net.PathLatency(r.eng.Now(), 2) + controllerProc
+	r.eng.After(trip, func(sim.Time) {
+		c.inGC[inst.id] = started
+		if rep := r.insts[c.replicas[inst.id]]; rep != nil {
+			rep.replicaIdleHint = !started
+		}
+	})
+}

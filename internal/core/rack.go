@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+
+	"rackblox/internal/netsim"
+	"rackblox/internal/packet"
+	"rackblox/internal/predictor"
+	"rackblox/internal/replication"
+	"rackblox/internal/sched"
+	"rackblox/internal/sim"
+	"rackblox/internal/ssd"
+	"rackblox/internal/stats"
+	"rackblox/internal/switchsim"
+	"rackblox/internal/vssd"
+	"rackblox/internal/workload"
+)
+
+// Fixed service costs of the software stack.
+const (
+	serverProcTime  = 3 * sim.Microsecond   // NIC + request handling
+	cacheHitTime    = 2 * sim.Microsecond   // DRAM read
+	cacheInsertTime = 2 * sim.Microsecond   // DRAM write
+	controllerProc  = 150 * sim.Microsecond // VDC controller decision
+	gcReplyTimeout  = 2 * sim.Millisecond   // gc_op retransmission timer
+	hermesRetryGap  = 50 * sim.Microsecond  // redirected read hit an
+	// invalidated key: retry after the in-flight write likely committed
+)
+
+// instance is one vSSD replica instance living on a server.
+type instance struct {
+	id        uint32
+	v         *vssd.VSSD
+	server    *server
+	pairIdx   int
+	replicaID uint32
+	primary   bool
+
+	queue       sched.Scheduler
+	pred        *predictor.Latency
+	idle        *predictor.Idle
+	repl        *replication.Node
+	inflight    int
+	maxInflight int
+
+	// Per-instance write cache and flusher (one flush slot per owned
+	// channel); isolation prevents cross-tenant head-of-line blocking.
+	cache            *writeCache
+	stalled          []*sched.Request
+	pendingRead      *sched.Request
+	flushInflight    int
+	maxFlushInflight int
+
+	// group is set for software-isolated instances (§3.5.2); peer is the
+	// collocated tenant sharing the channel group.
+	group *vssd.ChannelGroup
+	peer  *vssd.VSSD
+
+	// GC protocol state.
+	gcRequestInFlight bool
+	gcRetries         int
+	lastGCType        packet.GCField
+	gcEvents          int
+	gcDelayed         int
+	bgGCEvents        int
+	// replicaIdleHint caches the controller's answer for software
+	// (server-side) redirection in RackBlox (Software).
+	replicaIdleHint bool
+}
+
+// pair is a primary+replica vSSD pair with its client-side generator.
+type pair struct {
+	idx      int
+	primary  *instance
+	replica  *instance
+	gen      workload.Generator
+	inflight int
+}
+
+// reqState tracks one request across the rack for latency breakdown.
+type reqState struct {
+	seq        uint64
+	write      bool
+	lpn        uint32
+	pair       *pair
+	issue      sim.Time
+	arrival    sim.Time // at storage server
+	dispatched sim.Time
+	deviceDone sim.Time
+	redirected bool
+	// bounced marks a read the server handed back to the ToR because its
+	// vSSD started collecting after the switch had already forwarded it.
+	bounced bool
+	netIn   sim.Time
+}
+
+// Rack is one end-to-end experiment instance.
+type Rack struct {
+	cfg     Config
+	eng     *sim.Engine
+	net     *netsim.Network
+	sw      *switchsim.Switch
+	servers []*server
+	pairs   []*pair
+	insts   map[uint32]*instance
+	rec     *stats.Recorder
+	reqs    map[uint64]*reqState
+	seq     uint64
+	rng     *sim.RNG
+
+	clientIP uint32
+	// controller models the VDC controller server used by VDC and
+	// RackBlox (Software); nil otherwise.
+	controller *controller
+
+	// issuing stops at Warmup+Duration; the run drains afterwards.
+	stopIssuing sim.Time
+
+	// TraceGC, when set, observes every GC episode (diagnostics).
+	TraceGC func(vssd uint32, gcType packet.GCField, start, end sim.Time, blocks int)
+
+	// counters
+	failovers     int64
+	lostRequests  int64
+	bounces       int64
+	cacheHits     int64
+	staleRetries  int64
+	forcedGCs     int64
+	swRedirects   int64
+	gcOpsSent     int64
+	gcOpRetries   int64
+	delayedByCtrl int64
+}
+
+// NewRack builds and preconditions a rack per the configuration.
+func NewRack(cfg Config) (*Rack, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Rack{
+		cfg:      cfg,
+		eng:      sim.NewEngine(),
+		rec:      stats.NewRecorder(),
+		reqs:     make(map[uint64]*reqState),
+		insts:    make(map[uint32]*instance),
+		rng:      sim.NewRNG(cfg.Seed),
+		clientIP: packet.IP4(10, 0, 0, 1),
+	}
+	r.net = netsim.New(cfg.Net, r.rng.Fork(100))
+	r.sw = switchsim.New(r.eng, switchsim.QdiscByName(cfg.defaultQdisc()), r.forwardFromSwitch)
+	if cfg.GCReplyDropRate > 0 {
+		r.sw.SetDropRate(cfg.GCReplyDropRate, r.rng.Fork(101))
+	}
+
+	// Servers.
+	for i := 0; i < cfg.StorageServers; i++ {
+		dev, err := ssd.NewDevice(r.eng, cfg.Geometry, cfg.Device)
+		if err != nil {
+			return nil, err
+		}
+		s := &server{
+			rack:  r,
+			index: i,
+			ip:    packet.IP4(10, 0, 0, byte(16+i)),
+			dev:   dev,
+			insts: make(map[uint32]*instance),
+		}
+		r.servers = append(r.servers, s)
+	}
+	if cfg.System == RackBloxSoftware {
+		r.controller = newController(r)
+	}
+
+	if err := r.buildPairs(); err != nil {
+		return nil, err
+	}
+	r.precondition()
+	return r, nil
+}
+
+// buildPairs creates vSSD instances, registers them with the switch, and
+// wires Hermes replication between the two instances of each pair.
+func (r *Rack) buildPairs() error {
+	cfg := r.cfg
+	// nextChannel tracks per-server channel allocation.
+	nextChannel := make([]int, len(r.servers))
+	alloc := func(srv *server) ([]int, error) {
+		chs := make([]int, 0, cfg.ChannelsPerVSSD)
+		for j := 0; j < cfg.ChannelsPerVSSD; j++ {
+			if nextChannel[srv.index] >= cfg.Geometry.Channels {
+				return nil, fmt.Errorf("core: server %d out of channels", srv.index)
+			}
+			chs = append(chs, nextChannel[srv.index])
+			nextChannel[srv.index]++
+		}
+		return chs, nil
+	}
+
+	for p := 0; p < cfg.VSSDPairs; p++ {
+		priSrv := r.servers[(2*p)%len(r.servers)]
+		repSrv := r.servers[(2*p+1)%len(r.servers)]
+		priID := uint32(100 + 2*p)
+		repID := uint32(100 + 2*p + 1)
+
+		pri, err := r.newInstance(priSrv, priID, repID, p, true, alloc)
+		if err != nil {
+			return err
+		}
+		rep, err := r.newInstance(repSrv, repID, priID, p, false, alloc)
+		if err != nil {
+			return err
+		}
+
+		// Hermes wiring: node 0 = primary, node 1 = replica.
+		peers := []int{0, 1}
+		pri.repl = replication.NewNode(0, peers, r.hermesTransport(pri, rep))
+		rep.repl = replication.NewNode(1, peers, r.hermesTransport(pri, rep))
+
+		pr := &pair{idx: p, primary: pri, replica: rep}
+		pr.gen = r.newGenerator(p, pri)
+		r.pairs = append(r.pairs, pr)
+
+		// Register both instances in the ToR tables (create_vssd).
+		r.sw.Process(packet.Packet{
+			Op: packet.OpCreateVSSD, VSSD: priID, SrcIP: priSrv.ip,
+			ReplicaVSSD: repID, ReplicaIP: repSrv.ip,
+		})
+		r.sw.Process(packet.Packet{
+			Op: packet.OpCreateVSSD, VSSD: repID, SrcIP: repSrv.ip,
+			ReplicaVSSD: priID, ReplicaIP: priSrv.ip,
+		})
+		if r.controller != nil {
+			r.controller.register(pri, rep)
+		}
+	}
+	r.eng.Run() // drain registration events
+	return nil
+}
+
+// newInstance creates one vSSD instance (hardware- or software-isolated)
+// on a server. In the software-isolated mode each channel set hosts two
+// half-size vSSDs forming a channel group; the second member runs a
+// mirrored background load through the same group.
+func (r *Rack) newInstance(srv *server, id, replicaID uint32, pairIdx int, primary bool,
+	alloc func(*server) ([]int, error)) (*instance, error) {
+
+	cfg := r.cfg
+	channels, err := alloc(srv)
+	if err != nil {
+		return nil, err
+	}
+	var v *vssd.VSSD
+	var group *vssd.ChannelGroup
+	if cfg.SoftwareIsolated {
+		// Interleave chips so both group members span the identical
+		// channel set — the defining property of software isolation.
+		var mine, theirs []ssd.ChipRef
+		for _, ch := range channels {
+			cc := srv.dev.ChannelChips(ch)
+			for i, c := range cc {
+				if i%2 == 0 {
+					mine = append(mine, c)
+				} else {
+					theirs = append(theirs, c)
+				}
+			}
+		}
+		if len(mine) == 0 || len(theirs) == 0 {
+			return nil, fmt.Errorf("core: channel set too small to split for software isolation")
+		}
+		iops := cfg.SWIsolationIOPS
+		if iops <= 0 {
+			iops = 50_000
+		}
+		v, err = vssd.NewSoftwareIsolated(srv.dev, id, mine, cfg.Utilization, iops)
+		if err != nil {
+			return nil, err
+		}
+		peer, err2 := vssd.NewSoftwareIsolated(srv.dev, id+1000, theirs, cfg.Utilization, iops)
+		if err2 != nil {
+			return nil, err2
+		}
+		group, err = vssd.NewChannelGroup(4, v, peer)
+		if err != nil {
+			return nil, err
+		}
+
+	} else {
+		v, err = vssd.NewHardwareIsolated(srv.dev, id, channels, cfg.Utilization)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	inst := &instance{
+		id: id, v: v, server: srv, pairIdx: pairIdx,
+		replicaID: replicaID, primary: primary,
+		cache: newWriteCache(cfg.WriteCachePages),
+		peer:  peerOf(group, v),
+		queue: sched.New(sched.Config{
+			Policy:      cfg.SchedPolicy,
+			Coordinated: cfg.coordinated(),
+		}),
+		pred:            predictor.NewLatency(predictor.DefaultWindow),
+		idle:            predictor.NewIdle(predictor.DefaultAlpha, cfg.IdleGCThreshold),
+		maxInflight:     2 * len(channels),
+		group:           group,
+		replicaIdleHint: true,
+	}
+	srv.insts[id] = inst
+	r.insts[id] = inst
+	return inst, nil
+}
+
+// hermesTransport delivers replication messages between the two servers of
+// a pair over the simulated network (two hops via the ToR), and applies
+// replica writes to the follower's cache.
+func (r *Rack) hermesTransport(pri, rep *instance) replication.Transport {
+	byNode := func(node int) *instance {
+		if node == 0 {
+			return pri
+		}
+		return rep
+	}
+	return func(msg replication.Message) {
+		dst := byNode(msg.To)
+		delay := r.net.PathLatency(r.eng.Now(), 2)
+		r.eng.After(delay, func(sim.Time) {
+			if dst.server.failed {
+				return // messages to a crashed server are lost
+			}
+			if msg.Type == replication.MsgInv {
+				// The invalidation carries the write: the follower caches
+				// it for background flush.
+				dst.server.applyReplicaWrite(dst, msg.LPN)
+			}
+			dst.repl.Handle(msg)
+		})
+	}
+}
+
+// newGenerator builds the pair's workload generator sized to the primary's
+// preconditioned key space.
+func (r *Rack) newGenerator(p int, pri *instance) workload.Generator {
+	cfg := r.cfg
+	keys := uint64(float64(pri.v.FTL.LogicalPages()) * cfg.KeyspaceFrac)
+	if keys < 64 {
+		keys = 64
+	}
+	rng := r.rng.Fork(int64(200 + p))
+	if cfg.Workload.Name == "" || cfg.Workload.Name == "YCSB" {
+		return workload.NewYCSB(rng, keys, cfg.Workload.WriteFrac, cfg.Workload.MeanGap)
+	}
+	gen, err := workload.ByName(cfg.Workload.Name, rng, keys, cfg.Workload.MeanGap)
+	if err != nil {
+		panic(err) // Validate accepted the config; ByName must agree
+	}
+	return gen
+}
+
+// precondition fills each instance's key space and fragments it until
+// roughly half the free blocks are consumed (§4.1), without charging
+// virtual time.
+func (r *Rack) precondition() {
+	for _, pr := range r.pairs {
+		for _, inst := range []*instance{pr.primary, pr.replica} {
+			ftls := []*ssd.FTL{inst.v.FTL}
+			if inst.peer != nil {
+				ftls = append(ftls, inst.peer.FTL)
+			}
+			for _, ftl := range ftls {
+				keys := int(float64(ftl.LogicalPages()) * r.cfg.KeyspaceFrac)
+				if keys < 64 {
+					keys = 64
+				}
+				for lpn := 0; lpn < keys; lpn++ {
+					if _, err := ftl.Write(lpn); err != nil {
+						ftl.CollectOnce()
+						lpn--
+					}
+				}
+				// Fragment until just above the soft threshold so every
+				// system reaches its GC steady state within the compressed
+				// simulation horizon (the paper preconditions to 50% free and
+				// runs for minutes; this matches where that converges).
+				target := r.cfg.SoftThreshold + 0.06
+				z := sim.NewZipf(r.rng.Fork(int64(300+inst.id)), 0.99, uint64(keys))
+				for ftl.FreeRatio() > target {
+					if _, err := ftl.Write(int(z.Next())); err != nil {
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// Keyspace returns the per-pair logical key count the workload touches.
+func (r *Rack) Keyspace() int {
+	ftl := r.pairs[0].primary.v.FTL
+	return int(float64(ftl.LogicalPages()) * r.cfg.KeyspaceFrac)
+}
+
+// Engine exposes the simulation engine (tests).
+func (r *Rack) Engine() *sim.Engine { return r.eng }
+
+// Switch exposes the ToR switch (tests).
+func (r *Rack) Switch() *switchsim.Switch { return r.sw }
+
+// peerOf returns the other member of a two-member channel group, nil when
+// ungrouped.
+func peerOf(g *vssd.ChannelGroup, self *vssd.VSSD) *vssd.VSSD {
+	if g == nil {
+		return nil
+	}
+	for _, m := range g.Members {
+		if m != self {
+			return m
+		}
+	}
+	return nil
+}

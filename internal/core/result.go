@@ -1,0 +1,92 @@
+package core
+
+import (
+	"rackblox/internal/sim"
+	"rackblox/internal/stats"
+	"rackblox/internal/switchsim"
+)
+
+// Result is the outcome of one rack run.
+type Result struct {
+	System System
+	Config Config
+	// Recorder holds every measured request with latency breakdowns.
+	Recorder *stats.Recorder
+	// Switch counts data-plane events, including read redirections.
+	Switch switchsim.Stats
+
+	// GC accounting aggregated over all instances.
+	GCEvents     int
+	GCDelayed    int
+	BGGCEvents   int
+	ForcedGCs    int64
+	GCOpsSent    int64
+	GCOpRetries  int64
+	DelayedByCtl int64
+
+	// Failure handling (§3.7).
+	Failovers    int64
+	LostRequests int64
+
+	// Datapath counters.
+	Bounces      int64
+	CacheHits    int64
+	StaleRetries int64
+	SWRedirects  int64
+
+	// WriteAmp is the mean write amplification across instances.
+	WriteAmp float64
+	// SimulatedTime is the virtual time the run covered.
+	SimulatedTime sim.Time
+	// Events is the number of discrete events processed.
+	Events uint64
+}
+
+// Run executes one configured experiment end to end.
+func Run(cfg Config) (*Result, error) {
+	r, err := NewRack(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(), nil
+}
+
+// Run drives the rack: clients issue during [0, Warmup+Duration), GC
+// monitors patrol, then the event queue drains outstanding work.
+func (r *Rack) Run() *Result {
+	r.stopIssuing = r.cfg.Warmup + r.cfg.Duration
+	r.startClients()
+	r.startGCMonitors()
+	r.scheduleFailure()
+	r.eng.Run()
+
+	res := &Result{
+		System:        r.cfg.System,
+		Config:        r.cfg,
+		Recorder:      r.rec,
+		Switch:        r.sw.Stats(),
+		ForcedGCs:     r.forcedGCs,
+		GCOpsSent:     r.gcOpsSent,
+		GCOpRetries:   r.gcOpRetries,
+		DelayedByCtl:  r.delayedByCtrl,
+		Failovers:     r.failovers,
+		LostRequests:  r.lostRequests,
+		Bounces:       r.bounces,
+		CacheHits:     r.cacheHits,
+		StaleRetries:  r.staleRetries,
+		SWRedirects:   r.swRedirects,
+		SimulatedTime: r.eng.Now(),
+		Events:        r.eng.Processed(),
+	}
+	var wa float64
+	for _, pr := range r.pairs {
+		for _, inst := range []*instance{pr.primary, pr.replica} {
+			res.GCEvents += inst.gcEvents
+			res.GCDelayed += inst.gcDelayed
+			res.BGGCEvents += inst.bgGCEvents
+			wa += inst.v.FTL.WriteAmplification()
+		}
+	}
+	res.WriteAmp = wa / float64(2*len(r.pairs))
+	return res
+}

@@ -1,0 +1,6 @@
+package core
+
+import "rackblox/internal/stats"
+
+// rawSamples exposes recorded samples for white-box assertions.
+func rawSamples(res *Result) []stats.Sample { return stats.RawSamples(res.Recorder) }

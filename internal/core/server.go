@@ -1,0 +1,286 @@
+package core
+
+import (
+	"rackblox/internal/flash"
+	"rackblox/internal/packet"
+	"rackblox/internal/sched"
+	"rackblox/internal/sim"
+	"rackblox/internal/ssd"
+)
+
+// server is one storage server: a programmable SSD, the SDF stack with its
+// per-vSSD I/O queues, a DRAM write cache with a background flusher, and
+// the periodic GC monitor of Algorithm 2.
+type server struct {
+	rack  *Rack
+	index int
+	ip    uint32
+	dev   *ssd.Device
+	insts map[uint32]*instance
+
+	// failed marks a crashed server (drops all traffic); detected flips
+	// when the heartbeat monitor notices.
+	failed   bool
+	detected bool
+}
+
+// receive handles a packet delivered to this server's NIC.
+func (s *server) receive(pkt packet.Packet) {
+	if s.failed {
+		return // crashed servers drop everything
+	}
+	now := s.rack.eng.Now()
+	inst, ok := s.insts[pkt.VSSD]
+	if !ok {
+		return // stale packet for a deleted vSSD
+	}
+	switch pkt.Op {
+	case packet.OpRead, packet.OpWrite:
+		st := s.rack.reqs[pkt.Seq]
+		if st == nil {
+			return
+		}
+		st.arrival = now
+		st.netIn = now - st.issue
+		if pkt.VSSD != st.pair.primary.id {
+			st.redirected = true
+		}
+		// Feed the predictor with the INT-measured inbound latency and
+		// track idleness for background GC.
+		inst.pred.Observe(pkt.Op == packet.OpWrite, sim.Time(pkt.LatencyNS()))
+		inst.idle.OnRequest(now)
+
+		req := &sched.Request{
+			Seq:     pkt.Seq,
+			Write:   pkt.Op == packet.OpWrite,
+			Arrival: now,
+			Data:    inst,
+		}
+		if s.rack.cfg.coordinated() {
+			req.NetTime = sim.Time(pkt.LatencyNS())
+			req.Predict = inst.pred.Predict(req.Write)
+		}
+		inst.queue.Enqueue(req)
+		s.rack.eng.After(serverProcTime, func(sim.Time) { s.pump(inst) })
+	case packet.OpGC:
+		// Reply from the ToR switch to an earlier gc_op.
+		s.rack.handleGCReply(inst, pkt)
+	}
+}
+
+// pump dispatches queued requests. The inflight budget applies to reads
+// only: they occupy flash channels. Writes land in DRAM and are bounded by
+// the cache, the stall list, and Kyber's write tokens, so a GC-blocked
+// read never starves them — the cache-shielding the paper relies on. One
+// read may be stashed in pendingRead when the budget is exhausted, letting
+// writes continue past it without reordering reads.
+func (s *server) pump(inst *instance) {
+	now := s.rack.eng.Now()
+	for {
+		if inst.pendingRead != nil {
+			if inst.inflight >= inst.maxInflight {
+				return
+			}
+			req := inst.pendingRead
+			inst.pendingRead = nil
+			inst.inflight++
+			s.startRead(inst, req, 0)
+			continue
+		}
+		req := inst.queue.Dequeue(now)
+		if req == nil {
+			return
+		}
+		if req.Write {
+			if inst.cache.Full() {
+				if len(inst.stalled) < 8 {
+					// Hold the write until flushing frees DRAM.
+					inst.stalled = append(inst.stalled, req)
+					continue
+				}
+				// Stall list saturated: put the request back and stop
+				// pumping writes. Kyber counted the dequeue as an
+				// in-flight write; a zero-cost completion rebalances it.
+				inst.queue.Enqueue(req)
+				inst.queue.OnComplete(true, 0)
+				return
+			}
+			s.startWrite(inst, req)
+			continue
+		}
+		if inst.inflight >= inst.maxInflight {
+			inst.pendingRead = req
+			return
+		}
+		inst.inflight++
+		s.startRead(inst, req, 0)
+	}
+}
+
+// drainStalled restarts writes that were waiting for DRAM slots.
+func (s *server) drainStalled(inst *instance) {
+	for len(inst.stalled) > 0 && !inst.cache.Full() {
+		req := inst.stalled[0]
+		inst.stalled = inst.stalled[1:]
+		s.startWrite(inst, req)
+	}
+}
+
+// startRead serves one read: DRAM hit, or flash read on the owning
+// channel. attempt counts Hermes-invalidation retries.
+func (s *server) startRead(inst *instance, req *sched.Request, attempt int) {
+	r := s.rack
+	now := r.eng.Now()
+	st := r.reqs[req.Seq]
+	if st.dispatched == 0 {
+		st.dispatched = now
+	}
+	lpn := st.lpn
+
+	// The switch marks a collecting vSSD before replying to its gc_op,
+	// but reads already forwarded race that update. Rather than queue
+	// such a read behind a multi-millisecond GC reservation, hand it back
+	// to the ToR: Algorithm 1 redirects it to the idle replica ("early
+	// redirection to data replicas", §2.3). One bounce only — if both
+	// replicas collect, the read is served in place.
+	if !st.bounced && inst.v.InGC(now) && r.cfg.gcCoordinated() {
+		st.bounced = true
+		st.dispatched = 0 // queue accounting restarts at the new server
+		inst.inflight--
+		r.bounces++
+		r.bounceRead(inst, st)
+		s.pump(inst)
+		return
+	}
+
+	// A redirected read may land on a replica whose copy is still
+	// invalidated by an in-flight write; wait briefly for the commit.
+	if !inst.repl.CanRead(lpn) && attempt < 3 {
+		r.staleRetries++
+		r.eng.After(hermesRetryGap, func(sim.Time) { s.startRead(inst, req, attempt+1) })
+		return
+	}
+
+	if inst.cache.Contains(inst.id, lpn) {
+		r.cacheHits++
+		r.eng.After(cacheHitTime, func(sim.Time) { s.completeRead(inst, req) })
+		return
+	}
+	// Software-isolated vSSDs pass the token-bucket limiter first.
+	admitAt := inst.v.Admit(now)
+	issue := func(sim.Time) {
+		addr, err := inst.v.FTL.Read(int(lpn))
+		if err != nil {
+			// Reads outside the preconditioned range still cost one
+			// device read on the vSSD's first channel.
+			addr = flash.Addr{Channel: inst.v.Channels()[0]}
+		}
+		s.dev.TimeRead(addr, func(_, _ sim.Time) { s.completeRead(inst, req) })
+	}
+	if admitAt > now {
+		r.eng.At(admitAt, issue)
+	} else {
+		issue(now)
+	}
+}
+
+func (s *server) completeRead(inst *instance, req *sched.Request) {
+	r := s.rack
+	now := r.eng.Now()
+	st := r.reqs[req.Seq]
+	st.deviceDone = now
+	// Coordinated schedulers target end-to-end latency, so feed them the
+	// network components too — that is why their targets are raised by
+	// the expected network delay (§4.1).
+	lat := now - req.Arrival
+	if r.cfg.coordinated() {
+		lat += req.NetTime + req.Predict
+	}
+	inst.queue.OnComplete(false, lat)
+	inst.inflight--
+	r.respond(st, inst)
+	s.pump(inst)
+}
+
+// startWrite inserts the write into the DRAM cache and replicates it with
+// Hermes; the write completes when all replicas acknowledged (§3.5.1).
+func (s *server) startWrite(inst *instance, req *sched.Request) {
+	r := s.rack
+	now := r.eng.Now()
+	st := r.reqs[req.Seq]
+	if st.dispatched == 0 {
+		st.dispatched = now
+	}
+	inst.cache.Insert(inst.id, st.lpn)
+	// The write now owns a DRAM slot: its scheduler token returns
+	// immediately. Kyber's write depth gates admission into the storage
+	// stack, not the replication round trip, which is network time.
+	inst.queue.OnComplete(true, 0)
+	r.eng.After(cacheInsertTime, func(sim.Time) {
+		inst.repl.Write(st.lpn, func() {
+			done := r.eng.Now()
+			st.deviceDone = done
+			r.respond(st, inst)
+			s.flushPump(inst)
+			s.pump(inst)
+		})
+	})
+	s.flushPump(inst)
+}
+
+// applyReplicaWrite caches a write arriving via Hermes invalidation at the
+// follower. Followers absorb without back-pressure; their flusher catches
+// up in the background.
+func (s *server) applyReplicaWrite(inst *instance, lpn uint32) {
+	// Replicated writes keep the device busy: without this the idle
+	// predictor believes a read-free replica is idle and fires
+	// background GC under full write load.
+	inst.idle.OnRequest(s.rack.eng.Now())
+	if !inst.cache.Insert(inst.id, lpn) {
+		// Follower DRAM full: write through to flash immediately.
+		if _, err := inst.v.FTL.Write(int(lpn)); err != nil {
+			s.forceGC(inst)
+			inst.v.FTL.Write(int(lpn)) // after GC this must succeed
+		}
+		return
+	}
+	s.flushPump(inst)
+}
+
+// flushPump drains one instance's DRAM cache to flash in the background,
+// bounded to one in-flight program per channel the instance owns. Flushing
+// is strictly per-instance so one vSSD's GC train cannot occupy another
+// vSSD's flush slots (head-of-line blocking across tenants).
+func (s *server) flushPump(inst *instance) {
+	if inst.maxFlushInflight == 0 {
+		inst.maxFlushInflight = len(inst.v.Channels())
+	}
+	// Write-back watermark: dirty pages below the hold level stay in DRAM
+	// absorbing rewrites (hot keys never reach flash), which is what
+	// keeps GC traffic proportional to the *unique* write footprint.
+	hold := s.rack.cfg.CacheHoldPages
+	for inst.flushInflight < inst.maxFlushInflight && inst.cache.Len() > hold {
+		_, lpn, ok := inst.cache.NextFlush()
+		if !ok {
+			return
+		}
+		addr, err := inst.v.FTL.Write(int(lpn))
+		if err != nil {
+			// Out of space: garbage-collect now (the never-denied regular
+			// GC path) and retry once.
+			s.forceGC(inst)
+			addr, err = inst.v.FTL.Write(int(lpn))
+			if err != nil {
+				inst.cache.FlushDone()
+				continue
+			}
+		}
+		inst.flushInflight++
+		s.dev.TimeProgram(addr, func(_, _ sim.Time) {
+			inst.flushInflight--
+			inst.cache.FlushDone()
+			s.drainStalled(inst)
+			s.flushPump(inst)
+		})
+	}
+}

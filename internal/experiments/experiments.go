@@ -1,0 +1,685 @@
+// Package experiments regenerates every table and figure of the RackBlox
+// evaluation (§4). Each Fig* function runs the corresponding sweep on the
+// simulated rack and returns printable rows; cmd/rackbench renders them,
+// and the repository-root benchmarks call them at reduced scale.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rackblox/internal/core"
+	"rackblox/internal/flash"
+	"rackblox/internal/netsim"
+	"rackblox/internal/predictor"
+	"rackblox/internal/sched"
+	"rackblox/internal/sim"
+	"rackblox/internal/stats"
+	"rackblox/internal/wear"
+	"rackblox/internal/workload"
+)
+
+// Scale shrinks experiment durations for fast runs: 1.0 is the full
+// rackbench setting, benchmarks use ~0.25.
+type Scale float64
+
+// duration scales the measured window.
+func (s Scale) duration(full sim.Time) sim.Time {
+	if s <= 0 {
+		s = 1
+	}
+	d := sim.Time(float64(full) * float64(s))
+	if d < 100*sim.Millisecond {
+		d = 100 * sim.Millisecond
+	}
+	return d
+}
+
+// Row is one printable result row: a label, an x-position, and named
+// values in figure order.
+type Row struct {
+	Series string
+	X      string
+	Values map[string]float64
+}
+
+// Table is a titled collection of rows.
+type Table struct {
+	ID    string
+	Title string
+	Cols  []string
+	Rows  []Row
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "%-22s %-14s", "series", "x")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-22s %-14s", r.Series, r.X)
+		for _, c := range t.Cols {
+			fmt.Fprintf(&b, " %14.3f", r.Values[c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// mixes are the YCSB read/write splits of Figs. 9-12 and 15-16.
+var mixes = []float64{0, 0.05, 0.2, 0.5, 0.8, 0.95, 1.0}
+
+func mixLabel(writeFrac float64) string {
+	return workload.Mix(int(100 - writeFrac*100 + 0.5))
+}
+
+// baseConfig is the shared experiment setup (§4.1).
+func baseConfig(scale Scale) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Duration = scale.duration(cfg.Duration)
+	return cfg
+}
+
+// runYCSB runs one (system, write fraction) cell.
+func runYCSB(sys core.System, writeFrac float64, scale Scale, seed int64) *core.Result {
+	cfg := baseConfig(scale)
+	cfg.System = sys
+	cfg.Seed = seed
+	cfg.Workload.WriteFrac = writeFrac
+	res, err := core.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
+}
+
+// ycsbSweep produces one row per (system, mix) with the chosen metric.
+func ycsbSweep(id, title string, scale Scale, readSide bool,
+	metric func(*stats.Recorder) float64) *Table {
+
+	t := &Table{ID: id, Title: title, Cols: []string{"value", "norm_vs_vdc"}}
+	for _, mix := range mixes {
+		if readSide && mix == 1.0 {
+			continue // read metrics exclude the write-only mix
+		}
+		if !readSide && mix == 0 {
+			continue // write metrics exclude the read-only mix
+		}
+		var vdcVal float64
+		for _, sys := range core.Systems() {
+			res := runYCSB(sys, mix, scale, 1)
+			v := metric(res.Recorder)
+			if sys == core.VDC {
+				vdcVal = v
+			}
+			norm := 0.0
+			if vdcVal > 0 {
+				norm = v / vdcVal
+			}
+			t.Rows = append(t.Rows, Row{
+				Series: sys.String(),
+				X:      mixLabel(mix),
+				Values: map[string]float64{"value": v, "norm_vs_vdc": norm},
+			})
+		}
+	}
+	return t
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// Table2 reproduces the workload table.
+func Table2() *Table {
+	t := &Table{ID: "Table2", Title: "Workloads used in the evaluation", Cols: []string{"write_pct"}}
+	for _, row := range workload.Table2() {
+		pct := row.WritePct
+		label := row.Name
+		if pct < 0 {
+			pct = 0 // YCSB is configurable 0-100%
+			label = "YCSB (0-100%)"
+		}
+		t.Rows = append(t.Rows, Row{Series: label, X: row.Description,
+			Values: map[string]float64{"write_pct": pct}})
+	}
+	return t
+}
+
+// Fig9a: P99.9 read latency across YCSB mixes (normalized to VDC).
+func Fig9a(scale Scale) *Table {
+	return ycsbSweep("Fig9a", "P99.9 read latency (ms), YCSB mixes", scale, true,
+		func(r *stats.Recorder) float64 { return ms(r.Reads().P999()) })
+}
+
+// Fig9b: P99.9 write latency across YCSB mixes.
+func Fig9b(scale Scale) *Table {
+	return ycsbSweep("Fig9b", "P99.9 write latency (ms), YCSB mixes", scale, false,
+		func(r *stats.Recorder) float64 { return ms(r.Writes().P999()) })
+}
+
+// Fig10a/b: P99 latencies.
+func Fig10a(scale Scale) *Table {
+	return ycsbSweep("Fig10a", "P99 read latency (ms), YCSB mixes", scale, true,
+		func(r *stats.Recorder) float64 { return ms(r.Reads().P99()) })
+}
+
+func Fig10b(scale Scale) *Table {
+	return ycsbSweep("Fig10b", "P99 write latency (ms), YCSB mixes", scale, false,
+		func(r *stats.Recorder) float64 { return ms(r.Writes().P99()) })
+}
+
+// Fig11a/b: average latencies.
+func Fig11a(scale Scale) *Table {
+	return ycsbSweep("Fig11a", "Average read latency (ms), YCSB mixes", scale, true,
+		func(r *stats.Recorder) float64 { return r.Reads().Mean() / 1e6 })
+}
+
+func Fig11b(scale Scale) *Table {
+	return ycsbSweep("Fig11b", "Average write latency (ms), YCSB mixes", scale, false,
+		func(r *stats.Recorder) float64 { return r.Writes().Mean() / 1e6 })
+}
+
+// Fig12: throughput (KIOPS) across mixes, including both pure mixes.
+func Fig12(scale Scale) *Table {
+	t := &Table{ID: "Fig12", Title: "Throughput (KIOPS), YCSB mixes", Cols: []string{"kiops"}}
+	for _, mix := range mixes {
+		for _, sys := range core.Systems() {
+			res := runYCSB(sys, mix, scale, 1)
+			t.Rows = append(t.Rows, Row{
+				Series: sys.String(),
+				X:      mixLabel(mix),
+				Values: map[string]float64{"kiops": res.Recorder.Throughput() / 1000},
+			})
+		}
+	}
+	return t
+}
+
+// runBench runs one (system, BenchBase workload) cell.
+func runBench(sys core.System, name string, scale Scale) *core.Result {
+	cfg := baseConfig(scale)
+	cfg.System = sys
+	cfg.Workload = core.WorkloadSpec{Name: name, MeanGap: cfg.Workload.MeanGap}
+	res, err := core.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
+}
+
+// Fig13a/b: P99.9 read/write latency for the five BenchBase workloads.
+func Fig13a(scale Scale) *Table {
+	t := &Table{ID: "Fig13a", Title: "P99.9 read latency (ms), BenchBase workloads", Cols: []string{"value", "norm_vs_vdc"}}
+	benchSweep(t, scale, func(r *stats.Recorder) float64 { return ms(r.Reads().P999()) })
+	return t
+}
+
+func Fig13b(scale Scale) *Table {
+	t := &Table{ID: "Fig13b", Title: "P99.9 write latency (ms), BenchBase workloads", Cols: []string{"value", "norm_vs_vdc"}}
+	benchSweep(t, scale, func(r *stats.Recorder) float64 { return ms(r.Writes().P999()) })
+	return t
+}
+
+func benchSweep(t *Table, scale Scale, metric func(*stats.Recorder) float64) {
+	for _, name := range workload.Names() {
+		var vdcVal float64
+		for _, sys := range core.Systems() {
+			res := runBench(sys, name, scale)
+			v := metric(res.Recorder)
+			if sys == core.VDC {
+				vdcVal = v
+			}
+			norm := 0.0
+			if vdcVal > 0 {
+				norm = v / vdcVal
+			}
+			t.Rows = append(t.Rows, Row{Series: sys.String(), X: name,
+				Values: map[string]float64{"value": v, "norm_vs_vdc": norm}})
+		}
+	}
+}
+
+// Fig14: throughput for the BenchBase workloads.
+func Fig14(scale Scale) *Table {
+	t := &Table{ID: "Fig14", Title: "Throughput (KIOPS), BenchBase workloads", Cols: []string{"kiops"}}
+	for _, name := range workload.Names() {
+		for _, sys := range core.Systems() {
+			res := runBench(sys, name, scale)
+			t.Rows = append(t.Rows, Row{Series: sys.String(), X: name,
+				Values: map[string]float64{"kiops": res.Recorder.Throughput() / 1000}})
+		}
+	}
+	return t
+}
+
+// Fig15a/b: P99.9 latency breakdown — storage-only vs end-to-end.
+func Fig15a(scale Scale) *Table {
+	t := &Table{ID: "Fig15a", Title: "P99.9 read latency breakdown (ms)", Cols: []string{"total", "storage"}}
+	breakdownSweep(t, scale, true)
+	return t
+}
+
+func Fig15b(scale Scale) *Table {
+	t := &Table{ID: "Fig15b", Title: "P99.9 write latency breakdown (ms)", Cols: []string{"total", "storage"}}
+	breakdownSweep(t, scale, false)
+	return t
+}
+
+func breakdownSweep(t *Table, scale Scale, readSide bool) {
+	for _, mix := range mixes {
+		if readSide && mix == 1.0 || !readSide && mix == 0 {
+			continue
+		}
+		for _, sys := range core.Systems() {
+			res := runYCSB(sys, mix, scale, 1)
+			var total, storage int64
+			if readSide {
+				total = res.Recorder.Reads().P999()
+				storage = res.Recorder.ReadStorage().P999()
+			} else {
+				total = res.Recorder.Writes().P999()
+				storage = res.Recorder.WriteStorage().P999()
+			}
+			t.Rows = append(t.Rows, Row{Series: sys.String(), X: mixLabel(mix),
+				Values: map[string]float64{"total": ms(total), "storage": ms(storage)}})
+		}
+	}
+}
+
+// Fig16: cumulative distribution of read latency (P98.5..P99.9) per mix.
+func Fig16(scale Scale) *Table {
+	t := &Table{ID: "Fig16", Title: "Read latency tail CDF (ms)",
+		Cols: []string{"p98.5", "p99", "p99.5", "p99.9"}}
+	for _, mix := range mixes {
+		if mix == 1.0 {
+			continue
+		}
+		for _, sys := range core.Systems() {
+			res := runYCSB(sys, mix, scale, 1)
+			pts := res.Recorder.Reads().TailCDF()
+			t.Rows = append(t.Rows, Row{Series: sys.String(), X: mixLabel(mix),
+				Values: map[string]float64{
+					"p98.5": ms(pts[0].Latency), "p99": ms(pts[1].Latency),
+					"p99.5": ms(pts[2].Latency), "p99.9": ms(pts[3].Latency),
+				}})
+		}
+	}
+	return t
+}
+
+// Fig17: coordinated I/O under different storage schedulers, P99.9 reads.
+func Fig17(scale Scale) *Table {
+	t := &Table{ID: "Fig17", Title: "P99.9 read latency (ms) by storage scheduler",
+		Cols: []string{"value", "speedup_vs_base"}}
+	policies := []sched.Policy{sched.FIFO, sched.Deadline, sched.Kyber}
+	for _, mix := range []float64{0.2, 0.5} {
+		for _, pol := range policies {
+			var base float64
+			for _, coord := range []bool{false, true} {
+				cfg := baseConfig(scale)
+				cfg.System = core.RackBlox
+				cfg.SchedPolicy = pol
+				cfg.Workload.WriteFrac = mix
+				if coord {
+					cfg.CoordinatedOverride = 1
+				} else {
+					cfg.CoordinatedOverride = -1
+				}
+				res, err := core.Run(cfg)
+				if err != nil {
+					panic(err)
+				}
+				v := ms(res.Recorder.Reads().P999())
+				name := pol.String()
+				if coord {
+					name = "RackBlox (" + pol.String() + ")"
+				} else {
+					base = v
+				}
+				sp := 0.0
+				if v > 0 && base > 0 {
+					sp = base / v
+				}
+				t.Rows = append(t.Rows, Row{Series: name, X: mixLabel(mix),
+					Values: map[string]float64{"value": v, "speedup_vs_base": sp}})
+			}
+		}
+	}
+	return t
+}
+
+// Fig18: coordinated I/O under different network schedulers, P99.9 reads.
+func Fig18(scale Scale) *Table {
+	t := &Table{ID: "Fig18", Title: "P99.9 read latency (ms) by network scheduler",
+		Cols: []string{"value", "speedup_vs_base"}}
+	for _, q := range []string{"FQ", "Priority", "TB"} {
+		for _, mix := range []float64{0.2, 0.5} {
+			var base float64
+			for _, coord := range []bool{false, true} {
+				cfg := baseConfig(scale)
+				cfg.System = core.RackBlox
+				cfg.Qdisc = q
+				cfg.Workload.WriteFrac = mix
+				if coord {
+					cfg.CoordinatedOverride = 1
+				} else {
+					cfg.CoordinatedOverride = -1
+				}
+				res, err := core.Run(cfg)
+				if err != nil {
+					panic(err)
+				}
+				v := ms(res.Recorder.Reads().P999())
+				name := q
+				if coord {
+					name = "RackBlox (" + q + ")"
+				} else {
+					base = v
+				}
+				sp := 0.0
+				if v > 0 && base > 0 {
+					sp = base / v
+				}
+				t.Rows = append(t.Rows, Row{Series: name, X: mixLabel(mix),
+					Values: map[string]float64{"value": v, "speedup_vs_base": sp}})
+			}
+		}
+	}
+	return t
+}
+
+// deviceProfiles and netProfiles for Figs. 19-20.
+func deviceProfiles() []flash.Profile {
+	return []flash.Profile{flash.ProfileOptane(), flash.ProfileIntelDC(), flash.ProfilePSSD()}
+}
+
+func netProfiles() []netsim.Profile {
+	return []netsim.Profile{netsim.ProfileFast(), netsim.ProfileMedium(), netsim.ProfileSlow()}
+}
+
+// Fig19: read tail CDF of YCSB-A for every SSD x network combination.
+func Fig19(scale Scale) *Table {
+	t := &Table{ID: "Fig19", Title: "YCSB-A read tail (ms), SSD x network grid",
+		Cols: []string{"p98.5", "p99", "p99.5", "p99.9"}}
+	for _, dev := range deviceProfiles() {
+		for _, net := range netProfiles() {
+			for _, sys := range []core.System{core.VDC, core.RackBlox} {
+				cfg := baseConfig(scale)
+				cfg.System = sys
+				cfg.Device = dev
+				cfg.Net = net
+				cfg.Workload.WriteFrac = 0.5 // YCSB-A
+				res, err := core.Run(cfg)
+				if err != nil {
+					panic(err)
+				}
+				pts := res.Recorder.Reads().TailCDF()
+				t.Rows = append(t.Rows, Row{Series: sys.String(),
+					X: dev.Name + "+" + net.Name,
+					Values: map[string]float64{
+						"p98.5": ms(pts[0].Latency), "p99": ms(pts[1].Latency),
+						"p99.5": ms(pts[2].Latency), "p99.9": ms(pts[3].Latency),
+					}})
+			}
+		}
+	}
+	return t
+}
+
+// Fig20: P99.9 read speedup of RackBlox over VDC for YCSB-A/B/C across the
+// device x network grid.
+func Fig20(scale Scale) *Table {
+	t := &Table{ID: "Fig20", Title: "P99.9 read speedup vs VDC (x)", Cols: []string{"speedup"}}
+	ycsbs := []struct {
+		name string
+		frac float64
+	}{{"YCSB-A", 0.5}, {"YCSB-B", 0.05}, {"YCSB-C", 0.0}}
+	for _, y := range ycsbs {
+		for _, dev := range deviceProfiles() {
+			for _, net := range netProfiles() {
+				var vdc, rb int64
+				for _, sys := range []core.System{core.VDC, core.RackBlox} {
+					cfg := baseConfig(scale)
+					cfg.System = sys
+					cfg.Device = dev
+					cfg.Net = net
+					cfg.Workload.WriteFrac = y.frac
+					res, err := core.Run(cfg)
+					if err != nil {
+						panic(err)
+					}
+					if sys == core.VDC {
+						vdc = res.Recorder.Reads().P999()
+					} else {
+						rb = res.Recorder.Reads().P999()
+					}
+				}
+				t.Rows = append(t.Rows, Row{Series: dev.Name + "+" + net.Name, X: y.name,
+					Values: map[string]float64{"speedup": stats.Speedup(vdc, rb)}})
+			}
+		}
+	}
+	return t
+}
+
+// Fig21: software- vs hardware-isolated vSSD read tails (YCSB 50/50).
+func Fig21(scale Scale) *Table {
+	t := &Table{ID: "Fig21", Title: "Read tail (ms) by isolation class",
+		Cols: []string{"p98.5", "p99", "p99.5", "p99.9"}}
+	for _, swIso := range []bool{true, false} {
+		x := "HW-Isolated"
+		if swIso {
+			x = "SW-Isolated"
+		}
+		for _, sys := range []core.System{core.VDC, core.RackBlox} {
+			cfg := baseConfig(scale)
+			cfg.System = sys
+			cfg.SoftwareIsolated = swIso
+			cfg.VSSDPairs = 2
+			cfg.Workload.WriteFrac = 0.5
+			res, err := core.Run(cfg)
+			if err != nil {
+				panic(err)
+			}
+			pts := res.Recorder.Reads().TailCDF()
+			t.Rows = append(t.Rows, Row{Series: sys.String(), X: x,
+				Values: map[string]float64{
+					"p98.5": ms(pts[0].Latency), "p99": ms(pts[1].Latency),
+					"p99.5": ms(pts[2].Latency), "p99.9": ms(pts[3].Latency),
+				}})
+		}
+	}
+	return t
+}
+
+// Fig22: per-server wear imbalance after one and two years, with and
+// without swapping.
+func Fig22() *Table {
+	t := &Table{ID: "Fig22", Title: "Per-server wear imbalance (max/avg)",
+		Cols: []string{"imbalance_mean", "imbalance_max"}}
+	for _, years := range []int{1, 2} {
+		for _, swap := range []bool{false, true} {
+			cfg := wear.DefaultConfig()
+			if !swap {
+				cfg.LocalPeriodDays = 0
+				cfg.GlobalPeriodDays = 0
+			}
+			r, err := wear.New(cfg)
+			if err != nil {
+				panic(err)
+			}
+			r.RunWeeks(52 * years)
+			var vals []float64
+			for s := 0; s < cfg.Servers; s++ {
+				vals = append(vals, r.ServerImbalance(s))
+			}
+			sort.Float64s(vals)
+			mean := 0.0
+			for _, v := range vals {
+				mean += v
+			}
+			mean /= float64(len(vals))
+			series := "No Swap"
+			if swap {
+				series = "RackBlox"
+			}
+			t.Rows = append(t.Rows, Row{Series: series, X: fmt.Sprintf("after %d year(s)", years),
+				Values: map[string]float64{"imbalance_mean": mean, "imbalance_max": vals[len(vals)-1]}})
+		}
+	}
+	return t
+}
+
+// Fig23: rack-scale wear imbalance over 80 weeks for several global swap
+// periods.
+func Fig23() *Table {
+	t := &Table{ID: "Fig23", Title: "Rack wear imbalance over time (max/avg)",
+		Cols: []string{"week16", "week32", "week48", "week64", "week80"}}
+	configs := []struct {
+		series string
+		period int
+	}{
+		{"No Swap", 0},
+		{"RB-Swap per 4 Weeks", 28},
+		{"RB-Swap per 8 Weeks", 56},
+		{"RB-Swap per 12 Weeks", 84},
+	}
+	for _, c := range configs {
+		cfg := wear.DefaultConfig()
+		cfg.GlobalPeriodDays = c.period
+		if c.period == 0 {
+			cfg.LocalPeriodDays = 0
+		}
+		r, err := wear.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		vals := map[string]float64{}
+		for w := 1; w <= 80; w++ {
+			r.RunWeeks(1)
+			switch w {
+			case 16, 32, 48, 64, 80:
+				vals[fmt.Sprintf("week%d", w)] = r.RackImbalance()
+			}
+		}
+		t.Rows = append(t.Rows, Row{Series: c.series, X: "80 weeks", Values: vals})
+	}
+	return t
+}
+
+// PredictorAccuracy validates the §3.4 sliding-window predictor against
+// the three network regimes.
+func PredictorAccuracy() *Table {
+	t := &Table{ID: "Predictor", Title: "Return-latency predictor accuracy",
+		Cols: []string{"hit_rate", "worst_rel_err"}}
+	for _, prof := range netProfiles() {
+		n := netsim.New(prof, sim.NewRNG(11))
+		p := predictor.NewLatency(predictor.DefaultWindow)
+		var acc predictor.Accuracy
+		tol := 25 * sim.Microsecond
+		if m := sim.Time(prof.MedianNS); m > tol {
+			tol = m
+		}
+		now := sim.Time(0)
+		for i := 0; i < predictor.DefaultWindow; i++ {
+			p.Observe(false, n.HopLatency(now))
+			now += 50 * sim.Microsecond
+		}
+		for i := 0; i < 50000; i++ {
+			actual := n.HopLatency(now)
+			acc.Record(p.Predict(false), actual, tol)
+			p.Observe(false, actual)
+			now += 50 * sim.Microsecond
+		}
+		t.Rows = append(t.Rows, Row{Series: prof.Name, X: "50k packets",
+			Values: map[string]float64{"hit_rate": acc.HitRate(), "worst_rel_err": acc.WorstRel}})
+	}
+	return t
+}
+
+// GCAblation compares redirect-only against the full delay+background
+// coordinated GC, a design-choice ablation beyond the paper's figures.
+func GCAblation(scale Scale) *Table {
+	t := &Table{ID: "GCAblation", Title: "Coordinated GC ablation, P99.9 reads (ms)",
+		Cols: []string{"value", "gc_events", "delayed"}}
+	type variant struct {
+		name string
+		soft float64 // soft threshold; == gc threshold disables delaying
+	}
+	cfgBase := baseConfig(scale)
+	for _, v := range []variant{
+		{"redirect-only", cfgBase.GCThreshold + 0.001},
+		{"redirect+delay", cfgBase.SoftThreshold},
+	} {
+		cfg := baseConfig(scale)
+		cfg.System = core.RackBlox
+		cfg.SoftThreshold = v.soft
+		res, err := core.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, Row{Series: v.name, X: "YCSB 50/50",
+			Values: map[string]float64{
+				"value":     ms(res.Recorder.Reads().P999()),
+				"gc_events": float64(res.GCEvents),
+				"delayed":   float64(res.GCDelayed),
+			}})
+	}
+	return t
+}
+
+// All returns every experiment id in order.
+func All() []string {
+	return []string{
+		"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+		"fig22", "fig23", "predictor", "gcablation",
+	}
+}
+
+// ByID runs an experiment by its id, returning its tables.
+func ByID(id string, scale Scale) ([]*Table, error) {
+	switch id {
+	case "table2":
+		return []*Table{Table2()}, nil
+	case "fig9":
+		return []*Table{Fig9a(scale), Fig9b(scale)}, nil
+	case "fig10":
+		return []*Table{Fig10a(scale), Fig10b(scale)}, nil
+	case "fig11":
+		return []*Table{Fig11a(scale), Fig11b(scale)}, nil
+	case "fig12":
+		return []*Table{Fig12(scale)}, nil
+	case "fig13":
+		return []*Table{Fig13a(scale), Fig13b(scale)}, nil
+	case "fig14":
+		return []*Table{Fig14(scale)}, nil
+	case "fig15":
+		return []*Table{Fig15a(scale), Fig15b(scale)}, nil
+	case "fig16":
+		return []*Table{Fig16(scale)}, nil
+	case "fig17":
+		return []*Table{Fig17(scale)}, nil
+	case "fig18":
+		return []*Table{Fig18(scale)}, nil
+	case "fig19":
+		return []*Table{Fig19(scale)}, nil
+	case "fig20":
+		return []*Table{Fig20(scale)}, nil
+	case "fig21":
+		return []*Table{Fig21(scale)}, nil
+	case "fig22":
+		return []*Table{Fig22()}, nil
+	case "fig23":
+		return []*Table{Fig23()}, nil
+	case "predictor":
+		return []*Table{PredictorAccuracy()}, nil
+	case "gcablation":
+		return []*Table{GCAblation(scale)}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

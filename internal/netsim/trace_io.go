@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rackblox/internal/sim"
+)
+
+// Trace I/O: the paper replays latency traces collected from real data
+// centers ("we emulate datacenter network traffic in our cluster using
+// traces and released network traffic distributions", §3.7). These
+// helpers persist and reload traces as two-column CSV
+// (sample_index, latency_ns), so externally collected traces can drive
+// the simulation.
+
+// WriteCSV serializes the trace.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "latency_ns"}); err != nil {
+		return err
+	}
+	for i, s := range t.Samples {
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatInt(int64(s), 10)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a trace written by WriteCSV (or any two-column CSV whose
+// second column is a latency in nanoseconds; a non-numeric header row is
+// skipped).
+func ReadCSV(name string, r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	t := &Trace{Name: name}
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netsim: trace line %d: %w", line, err)
+		}
+		v, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("netsim: trace line %d: %w", line, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("netsim: trace line %d: negative latency %d", line, v)
+		}
+		t.Samples = append(t.Samples, sim.Time(v))
+	}
+	if len(t.Samples) == 0 {
+		return nil, fmt.Errorf("netsim: trace %q has no samples", name)
+	}
+	return t, nil
+}
+
+// Stats summarizes a trace for validation against its source.
+func (t *Trace) Stats() (min, median, max sim.Time) {
+	if len(t.Samples) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]sim.Time(nil), t.Samples...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1]
+}

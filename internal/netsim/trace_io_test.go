@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rackblox/internal/sim"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	n := New(ProfileFast(), sim.NewRNG(21))
+	orig := Record(n, 200, sim.Millisecond, 2)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("roundtrip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(orig.Samples) {
+		t.Fatalf("samples = %d, want %d", len(back.Samples), len(orig.Samples))
+	}
+	for i := range orig.Samples {
+		if back.Samples[i] != orig.Samples[i] {
+			t.Fatalf("sample %d = %d, want %d", i, back.Samples[i], orig.Samples[i])
+		}
+	}
+}
+
+func TestReadCSVHeaderOptional(t *testing.T) {
+	noHeader := "0,1000\n1,2000\n"
+	tr, err := ReadCSV("x", strings.NewReader(noHeader))
+	if err != nil || len(tr.Samples) != 2 {
+		t.Fatalf("no-header parse: %v, %d", err, len(tr.Samples))
+	}
+	withHeader := "index,latency_ns\n0,1000\n"
+	tr, err = ReadCSV("y", strings.NewReader(withHeader))
+	if err != nil || len(tr.Samples) != 1 {
+		t.Fatalf("header parse: %v, %d", err, len(tr.Samples))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"index,latency_ns\n", // header only
+		"0,abc\n1,xyz\n",     // non-numeric data row
+		"0,-5\n",             // negative latency
+		"justonecolumn\n",    // wrong field count
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV("bad", strings.NewReader(c)); err == nil {
+			t.Errorf("accepted malformed trace %q", c)
+		}
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	tr := &Trace{Samples: []sim.Time{30, 10, 20}}
+	min, med, max := tr.Stats()
+	if min != 10 || med != 20 || max != 30 {
+		t.Fatalf("stats = %d/%d/%d", min, med, max)
+	}
+	empty := &Trace{}
+	if a, b, c := empty.Stats(); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty stats not zero")
+	}
+}

@@ -1,0 +1,195 @@
+// Package packet implements the RackBlox network packet format (Fig. 6)
+// and protocol operations (Table 1). The RackBlox header rides inside the
+// L4 payload of ordinary TCP/UDP packets, so regular switches forward it
+// untouched; only the ToR switch interprets it, selected by a reserved
+// port.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op is the 1-byte operation field.
+type Op uint8
+
+// Protocol operations (Table 1).
+const (
+	// OpCreateVSSD registers a newly created vSSD in the ToR switch.
+	OpCreateVSSD Op = iota + 1
+	// OpDelVSSD removes a registered vSSD from the tables.
+	OpDelVSSD
+	// OpWrite is a client write.
+	OpWrite
+	// OpRead is a client read.
+	OpRead
+	// OpGC updates GC state for a vSSD.
+	OpGC
+	// OpResponse carries a completion back to the client.
+	OpResponse
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreateVSSD:
+		return "create_vssd"
+	case OpDelVSSD:
+		return "del_vssd"
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpGC:
+		return "gc_op"
+	case OpResponse:
+		return "response"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// GCField is the gc byte in a gc_op payload (§3.5.1).
+type GCField uint8
+
+const (
+	// GCSoft requests GC below the soft threshold; the switch may delay it.
+	GCSoft GCField = 0
+	// GCRegular requests GC below the hard threshold; never denied.
+	GCRegular GCField = 1
+	// GCBackground announces idle-cycle GC; executed without approval.
+	GCBackground GCField = 2
+	// GCAccept is the switch's approval.
+	GCAccept GCField = 3
+	// GCDelay is the switch's postponement (replica is collecting).
+	GCDelay GCField = 4
+	// GCFinish tells the switch GC completed; it clears both tables.
+	GCFinish GCField = 5
+)
+
+func (g GCField) String() string {
+	switch g {
+	case GCSoft:
+		return "soft"
+	case GCRegular:
+		return "regular"
+	case GCBackground:
+		return "bg"
+	case GCAccept:
+		return "accept"
+	case GCDelay:
+		return "delay"
+	case GCFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("GCField(%d)", uint8(g))
+	}
+}
+
+// ReservedPort is the TCP/UDP port that marks RackBlox packets at the ToR.
+const ReservedPort = 0x5258 // "RX"
+
+// HeaderSize is the fixed RackBlox header length in bytes:
+// 1 (OP) + 4 (vSSD_ID) + 4 (LAT).
+const HeaderSize = 9
+
+// Packet is the in-simulation representation of one RackBlox message.
+// SrcIP/DstIP stand in for the L2/L3 routing header; the RackBlox header
+// fields follow Fig. 6.
+type Packet struct {
+	SrcIP uint32
+	DstIP uint32
+	Port  uint16
+
+	// Op is the RackBlox operation.
+	Op Op
+	// VSSD is the 4-byte target vSSD id.
+	VSSD uint32
+	// LatUS is the 4-byte accumulated network latency in microseconds,
+	// filled by In-band Network Telemetry as the packet crosses switches.
+	LatUS uint32
+
+	// GC is the gc field carried in gc_op payloads.
+	GC GCField
+	// ReplicaVSSD and ReplicaIP ride in create_vssd payloads.
+	ReplicaVSSD uint32
+	ReplicaIP   uint32
+	// LPN is the logical page addressed by read/write payloads.
+	LPN uint32
+	// Seq is a client-assigned request id echoed in responses.
+	Seq uint64
+}
+
+// AddLatency accumulates per-hop latency (ns) into the INT field,
+// saturating rather than wrapping.
+func (p *Packet) AddLatency(ns int64) {
+	us := uint64(p.LatUS) + uint64(ns/1000)
+	if us > 0xFFFFFFFF {
+		us = 0xFFFFFFFF
+	}
+	p.LatUS = uint32(us)
+}
+
+// LatencyNS returns the INT-accumulated latency in nanoseconds.
+func (p *Packet) LatencyNS() int64 { return int64(p.LatUS) * 1000 }
+
+// wireSize is the encoded length: header + fixed payload block.
+const wireSize = 4 + 4 + 2 + HeaderSize + 1 + 4 + 4 + 4 + 8
+
+// ErrShortPacket reports a truncated encoding.
+var ErrShortPacket = errors.New("packet: buffer too short")
+
+// ErrBadOp reports an unknown operation byte.
+var ErrBadOp = errors.New("packet: unknown op")
+
+// Marshal encodes the packet into a fresh byte slice (big-endian, network
+// order).
+func (p *Packet) Marshal() []byte {
+	b := make([]byte, wireSize)
+	binary.BigEndian.PutUint32(b[0:], p.SrcIP)
+	binary.BigEndian.PutUint32(b[4:], p.DstIP)
+	binary.BigEndian.PutUint16(b[8:], p.Port)
+	b[10] = byte(p.Op)
+	binary.BigEndian.PutUint32(b[11:], p.VSSD)
+	binary.BigEndian.PutUint32(b[15:], p.LatUS)
+	b[19] = byte(p.GC)
+	binary.BigEndian.PutUint32(b[20:], p.ReplicaVSSD)
+	binary.BigEndian.PutUint32(b[24:], p.ReplicaIP)
+	binary.BigEndian.PutUint32(b[28:], p.LPN)
+	binary.BigEndian.PutUint64(b[32:], p.Seq)
+	return b
+}
+
+// Unmarshal decodes a packet previously produced by Marshal.
+func Unmarshal(b []byte) (Packet, error) {
+	if len(b) < wireSize {
+		return Packet{}, ErrShortPacket
+	}
+	p := Packet{
+		SrcIP:       binary.BigEndian.Uint32(b[0:]),
+		DstIP:       binary.BigEndian.Uint32(b[4:]),
+		Port:        binary.BigEndian.Uint16(b[8:]),
+		Op:          Op(b[10]),
+		VSSD:        binary.BigEndian.Uint32(b[11:]),
+		LatUS:       binary.BigEndian.Uint32(b[15:]),
+		GC:          GCField(b[19]),
+		ReplicaVSSD: binary.BigEndian.Uint32(b[20:]),
+		ReplicaIP:   binary.BigEndian.Uint32(b[24:]),
+		LPN:         binary.BigEndian.Uint32(b[28:]),
+		Seq:         binary.BigEndian.Uint64(b[32:]),
+	}
+	if p.Op < OpCreateVSSD || p.Op > OpResponse {
+		return Packet{}, fmt.Errorf("%w: %d", ErrBadOp, b[10])
+	}
+	return p, nil
+}
+
+// IP4 packs a dotted quad into the uint32 wire form.
+func IP4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// FormatIP renders the uint32 wire form as a dotted quad.
+func FormatIP(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}

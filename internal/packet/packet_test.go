@@ -1,0 +1,116 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(src, dst, vssd, rvssd, rip, lpn uint32, port uint16, lat uint32, seq uint64, opRaw, gcRaw uint8) bool {
+		p := Packet{
+			SrcIP: src, DstIP: dst, Port: port,
+			Op:   Op(opRaw%6) + OpCreateVSSD,
+			VSSD: vssd, LatUS: lat,
+			GC:          GCField(gcRaw % 6),
+			ReplicaVSSD: rvssd, ReplicaIP: rip,
+			LPN: lpn, Seq: seq,
+		}
+		got, err := Unmarshal(p.Marshal())
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 5)); !errors.Is(err, ErrShortPacket) {
+		t.Fatalf("err = %v, want ErrShortPacket", err)
+	}
+}
+
+func TestUnmarshalBadOp(t *testing.T) {
+	p := Packet{Op: OpRead}
+	b := p.Marshal()
+	b[10] = 0 // invalid op
+	if _, err := Unmarshal(b); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("err = %v, want ErrBadOp", err)
+	}
+	b[10] = 200
+	if _, err := Unmarshal(b); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("err = %v, want ErrBadOp", err)
+	}
+}
+
+func TestAddLatencyAccumulates(t *testing.T) {
+	var p Packet
+	p.AddLatency(1500) // 1.5us truncates to 1us
+	p.AddLatency(2500)
+	if p.LatUS != 3 {
+		t.Fatalf("LatUS = %d, want 3", p.LatUS)
+	}
+	if p.LatencyNS() != 3000 {
+		t.Fatalf("LatencyNS = %d, want 3000", p.LatencyNS())
+	}
+}
+
+func TestAddLatencySaturates(t *testing.T) {
+	p := Packet{LatUS: 0xFFFFFFF0}
+	p.AddLatency(1_000_000_000) // 1s = 1e6 us, would overflow
+	if p.LatUS != 0xFFFFFFFF {
+		t.Fatalf("LatUS = %d, want saturation", p.LatUS)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	want := map[Op]string{
+		OpCreateVSSD: "create_vssd", OpDelVSSD: "del_vssd",
+		OpWrite: "write", OpRead: "read", OpGC: "gc_op", OpResponse: "response",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Error("unknown op string")
+	}
+}
+
+func TestGCFieldValuesMatchPaper(t *testing.T) {
+	// §3.5.1 fixes the wire values: soft=0, regular=1, bg=2, accept=3,
+	// delay=4, finish=5.
+	if GCSoft != 0 || GCRegular != 1 || GCBackground != 2 || GCAccept != 3 || GCDelay != 4 || GCFinish != 5 {
+		t.Fatal("GC field wire values diverge from the paper")
+	}
+	names := map[GCField]string{
+		GCSoft: "soft", GCRegular: "regular", GCBackground: "bg",
+		GCAccept: "accept", GCDelay: "delay", GCFinish: "finish",
+	}
+	for g, s := range names {
+		if g.String() != s {
+			t.Errorf("%d.String() = %q, want %q", g, g.String(), s)
+		}
+	}
+	if GCField(77).String() != "GCField(77)" {
+		t.Error("unknown gc field string")
+	}
+}
+
+func TestIPHelpers(t *testing.T) {
+	ip := IP4(10, 0, 0, 16)
+	if ip != 0x0A000010 {
+		t.Fatalf("IP4 = %x", ip)
+	}
+	if FormatIP(ip) != "10.0.0.16" {
+		t.Fatalf("FormatIP = %q", FormatIP(ip))
+	}
+}
+
+func TestHeaderSizeMatchesFig6(t *testing.T) {
+	// 1-byte OP + 4-byte vSSD_ID + 4-byte LAT.
+	if HeaderSize != 9 {
+		t.Fatalf("header size = %d, want 9", HeaderSize)
+	}
+}

@@ -1,0 +1,312 @@
+// Package replication implements a Hermes-style broadcast replication
+// protocol (invalidate -> ack -> validate), the scheme RackBlox uses to
+// keep vSSD replicas strongly consistent while the switch redirects reads
+// (§3.5.1: "our implementation uses Hermes [37] to ensure strong
+// consistency between replicas and correctness when redirecting requests").
+//
+// Any replica can coordinate a write: it invalidates the key everywhere,
+// gathers acks, then validates. Reads are served locally by any replica
+// whose copy is valid, which is exactly the property the ToR switch relies
+// on when it redirects a read to the non-collecting replica.
+package replication
+
+import (
+	"fmt"
+)
+
+// State is the per-key replica state.
+type State uint8
+
+const (
+	// Valid copies serve reads.
+	Valid State = iota
+	// Invalid copies have been invalidated by an in-flight write.
+	Invalid
+	// Writing marks the coordinator's own in-flight write.
+	Writing
+)
+
+func (s State) String() string {
+	switch s {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	case Writing:
+		return "writing"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Timestamp is a Lamport logical timestamp with the node id as tiebreak,
+// giving writes a total order.
+type Timestamp struct {
+	Version uint64
+	NodeID  int
+}
+
+// Less orders timestamps.
+func (t Timestamp) Less(o Timestamp) bool {
+	if t.Version != o.Version {
+		return t.Version < o.Version
+	}
+	return t.NodeID < o.NodeID
+}
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+const (
+	// MsgInv invalidates a key at a follower.
+	MsgInv MsgType = iota
+	// MsgAck acknowledges an invalidation.
+	MsgAck
+	// MsgVal re-validates a key after the write committed.
+	MsgVal
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgInv:
+		return "INV"
+	case MsgAck:
+		return "ACK"
+	case MsgVal:
+		return "VAL"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(m))
+	}
+}
+
+// Message is one protocol message.
+type Message struct {
+	Type     MsgType
+	From, To int
+	LPN      uint32
+	TS       Timestamp
+}
+
+// Transport delivers a message to its destination node; the rack provides
+// it and charges network latency.
+type Transport func(msg Message)
+
+type keyState struct {
+	st State
+	ts Timestamp
+}
+
+type pendingWrite struct {
+	ts       Timestamp
+	awaiting map[int]bool
+	onCommit func()
+}
+
+// Node is one replica endpoint of a group.
+type Node struct {
+	id      int
+	peers   []int
+	version uint64
+	keys    map[uint32]*keyState
+	pending map[uint32]*pendingWrite
+	send    Transport
+}
+
+// NewNode creates replica id within a fixed peer group. peers lists every
+// member including id itself.
+func NewNode(id int, peers []int, send Transport) *Node {
+	if send == nil {
+		panic("replication: nil transport")
+	}
+	found := false
+	for _, p := range peers {
+		if p == id {
+			found = true
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("replication: node %d not in peer list %v", id, peers))
+	}
+	return &Node{
+		id:      id,
+		peers:   append([]int(nil), peers...),
+		keys:    make(map[uint32]*keyState),
+		pending: make(map[uint32]*pendingWrite),
+		send:    send,
+	}
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+func (n *Node) key(lpn uint32) *keyState {
+	k, ok := n.keys[lpn]
+	if !ok {
+		k = &keyState{st: Valid} // unwritten keys are trivially consistent
+		n.keys[lpn] = k
+	}
+	return k
+}
+
+// CanRead reports whether this replica may serve a local read of lpn.
+func (n *Node) CanRead(lpn uint32) bool { return n.key(lpn).st == Valid }
+
+// KeyState exposes the replica state of a key (tests, introspection).
+func (n *Node) KeyState(lpn uint32) State { return n.key(lpn).st }
+
+// Write starts a coordinator write of lpn at this node. onCommit fires
+// once every replica has acknowledged the invalidation (the Hermes commit
+// point). A second write to the same key before commit supersedes the
+// first; the superseded write's callback fires immediately since it is
+// linearized before the newer one.
+func (n *Node) Write(lpn uint32, onCommit func()) {
+	n.version++
+	ts := Timestamp{Version: n.version, NodeID: n.id}
+	k := n.key(lpn)
+	k.st = Writing
+	k.ts = ts
+
+	if prev, ok := n.pending[lpn]; ok && prev.onCommit != nil {
+		prev.onCommit()
+	}
+	pw := &pendingWrite{ts: ts, awaiting: map[int]bool{}, onCommit: onCommit}
+	for _, p := range n.peers {
+		if p == n.id {
+			continue
+		}
+		pw.awaiting[p] = true
+		n.send(Message{Type: MsgInv, From: n.id, To: p, LPN: lpn, TS: ts})
+	}
+	n.pending[lpn] = pw
+	if len(pw.awaiting) == 0 {
+		n.commit(lpn, pw)
+	}
+}
+
+func (n *Node) commit(lpn uint32, pw *pendingWrite) {
+	delete(n.pending, lpn)
+	k := n.key(lpn)
+	if k.ts == pw.ts {
+		k.st = Valid
+		for _, p := range n.peers {
+			if p != n.id {
+				n.send(Message{Type: MsgVal, From: n.id, To: p, LPN: lpn, TS: pw.ts})
+			}
+		}
+	}
+	if pw.onCommit != nil {
+		pw.onCommit()
+	}
+}
+
+// RemovePeer degrades the group after peer death: in-flight writes stop
+// waiting for the dead node's acks and future writes skip it. With a
+// two-node group the survivor commits alone, which matches the paper's
+// durability model of relying on the remaining replicas (§3.5.1, §3.7).
+func (n *Node) RemovePeer(dead int) {
+	kept := n.peers[:0]
+	for _, p := range n.peers {
+		if p != dead {
+			kept = append(kept, p)
+		}
+	}
+	n.peers = kept
+	for lpn, pw := range n.pending {
+		if pw.awaiting[dead] {
+			delete(pw.awaiting, dead)
+			if len(pw.awaiting) == 0 {
+				n.commit(lpn, pw)
+			}
+		}
+	}
+}
+
+// Handle processes one incoming protocol message.
+func (n *Node) Handle(msg Message) {
+	if msg.To != n.id {
+		panic(fmt.Sprintf("replication: node %d got message for %d", n.id, msg.To))
+	}
+	k := n.key(msg.LPN)
+	// Lamport clock advance keeps future local writes ordered after
+	// everything this node has seen.
+	if msg.TS.Version > n.version {
+		n.version = msg.TS.Version
+	}
+	switch msg.Type {
+	case MsgInv:
+		if k.ts.Less(msg.TS) {
+			k.st = Invalid
+			k.ts = msg.TS
+		}
+		n.send(Message{Type: MsgAck, From: n.id, To: msg.From, LPN: msg.LPN, TS: msg.TS})
+	case MsgAck:
+		pw, ok := n.pending[msg.LPN]
+		if !ok || pw.ts != msg.TS {
+			return // ack for a superseded write
+		}
+		delete(pw.awaiting, msg.From)
+		if len(pw.awaiting) == 0 {
+			n.commit(msg.LPN, pw)
+		}
+	case MsgVal:
+		if k.ts == msg.TS && k.st == Invalid {
+			k.st = Valid
+		}
+	}
+}
+
+// Group wires a set of nodes with an in-memory FIFO transport, for direct
+// use and tests; the rack replaces the transport with one that models
+// network latency.
+type Group struct {
+	Nodes []*Node
+	queue []Message
+}
+
+// NewGroup builds n fully connected replicas with synchronous delivery.
+func NewGroup(n int) *Group {
+	if n < 1 {
+		panic("replication: group size must be >= 1")
+	}
+	g := &Group{}
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i
+	}
+	for i := 0; i < n; i++ {
+		g.Nodes = append(g.Nodes, NewNode(i, peers, func(m Message) {
+			g.queue = append(g.queue, m)
+		}))
+	}
+	return g
+}
+
+// drain pumps queued messages to quiescence.
+func (g *Group) drain() {
+	for len(g.queue) > 0 {
+		m := g.queue[0]
+		g.queue = g.queue[1:]
+		g.Nodes[m.To].Handle(m)
+	}
+}
+
+// Write performs a synchronous group write coordinated by node coord.
+func (g *Group) Write(coord int, lpn uint32) {
+	committed := false
+	g.Nodes[coord].Write(lpn, func() { committed = true })
+	g.drain()
+	if !committed {
+		panic("replication: synchronous group write did not commit")
+	}
+}
+
+// ReadableReplicas returns the ids of replicas that can serve lpn.
+func (g *Group) ReadableReplicas(lpn uint32) []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.CanRead(lpn) {
+			out = append(out, n.ID())
+		}
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package replication
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateAndMsgStrings(t *testing.T) {
+	if Valid.String() != "valid" || Invalid.String() != "invalid" || Writing.String() != "writing" {
+		t.Fatal("state strings")
+	}
+	if State(9).String() == "" {
+		t.Fatal("unknown state string empty")
+	}
+	if MsgInv.String() != "INV" || MsgAck.String() != "ACK" || MsgVal.String() != "VAL" {
+		t.Fatal("msg strings")
+	}
+	if MsgType(9).String() == "" {
+		t.Fatal("unknown msg string empty")
+	}
+}
+
+func TestTimestampOrder(t *testing.T) {
+	a := Timestamp{Version: 1, NodeID: 0}
+	b := Timestamp{Version: 1, NodeID: 1}
+	c := Timestamp{Version: 2, NodeID: 0}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Fatal("timestamp ordering broken")
+	}
+	if a.Less(a) {
+		t.Fatal("timestamp not irreflexive")
+	}
+}
+
+func TestFreshKeysReadableEverywhere(t *testing.T) {
+	g := NewGroup(3)
+	for _, n := range g.Nodes {
+		if !n.CanRead(42) {
+			t.Fatalf("node %d cannot read unwritten key", n.ID())
+		}
+	}
+}
+
+func TestWriteCommitsAndRevalidates(t *testing.T) {
+	g := NewGroup(3)
+	g.Write(0, 7)
+	readable := g.ReadableReplicas(7)
+	if len(readable) != 3 {
+		t.Fatalf("readable after commit = %v, want all 3", readable)
+	}
+}
+
+func TestInvalidationBlocksReadsMidWrite(t *testing.T) {
+	g := NewGroup(2)
+	g.Nodes[0].Write(5, nil)
+	// Deliver only the INV, not the ACK back.
+	if len(g.queue) != 1 || g.queue[0].Type != MsgInv {
+		t.Fatalf("queue = %+v, want one INV", g.queue)
+	}
+	inv := g.queue[0]
+	g.queue = g.queue[1:]
+	g.Nodes[1].Handle(inv)
+	if g.Nodes[1].CanRead(5) {
+		t.Fatal("follower readable while invalidated")
+	}
+	if g.Nodes[0].CanRead(5) {
+		t.Fatal("coordinator readable while write in flight")
+	}
+	g.drain()
+	if !g.Nodes[0].CanRead(5) || !g.Nodes[1].CanRead(5) {
+		t.Fatal("not readable after full protocol round")
+	}
+}
+
+func TestCommitCallbackFiresAfterAllAcks(t *testing.T) {
+	g := NewGroup(3)
+	committed := false
+	g.Nodes[0].Write(9, func() { committed = true })
+	if committed {
+		t.Fatal("committed before acks")
+	}
+	g.drain()
+	if !committed {
+		t.Fatal("never committed")
+	}
+}
+
+func TestSingleNodeGroupCommitsImmediately(t *testing.T) {
+	g := NewGroup(1)
+	committed := false
+	g.Nodes[0].Write(1, func() { committed = true })
+	if !committed {
+		t.Fatal("single-replica write needs no acks")
+	}
+}
+
+func TestConcurrentWritersConverge(t *testing.T) {
+	g := NewGroup(3)
+	// Both coordinators write the same key before any message delivery.
+	g.Nodes[0].Write(3, nil)
+	g.Nodes[1].Write(3, nil)
+	g.drain()
+	// All replicas converge on one timestamp and become valid.
+	ts := g.Nodes[0].key(3).ts
+	for _, n := range g.Nodes {
+		if n.key(3).ts != ts {
+			t.Fatalf("node %d ts %+v != %+v", n.ID(), n.key(3).ts, ts)
+		}
+		if !n.CanRead(3) {
+			t.Fatalf("node %d not readable after convergence", n.ID())
+		}
+	}
+}
+
+func TestSupersededWriteStillCommits(t *testing.T) {
+	g := NewGroup(2)
+	first := false
+	g.Nodes[0].Write(4, func() { first = true })
+	// Same coordinator writes again before the first commit.
+	second := false
+	g.Nodes[0].Write(4, func() { second = true })
+	if !first {
+		t.Fatal("superseded write's callback must fire (ordered before)")
+	}
+	g.drain()
+	if !second {
+		t.Fatal("second write never committed")
+	}
+}
+
+func TestStaleInvIgnored(t *testing.T) {
+	g := NewGroup(2)
+	g.Write(1, 8) // node 1 coordinates: version advances everywhere
+	// A stale INV with an old timestamp must not invalidate.
+	g.Nodes[0].Handle(Message{Type: MsgInv, From: 1, To: 0, LPN: 8, TS: Timestamp{Version: 0, NodeID: 1}})
+	if !g.Nodes[0].CanRead(8) {
+		t.Fatal("stale INV invalidated a newer copy")
+	}
+}
+
+func TestMisroutedMessagePanics(t *testing.T) {
+	g := NewGroup(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("misrouted message accepted")
+		}
+	}()
+	g.Nodes[0].Handle(Message{Type: MsgAck, From: 1, To: 1})
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("node outside peer list accepted")
+		}
+	}()
+	NewNode(5, []int{0, 1}, func(Message) {})
+}
+
+func TestNilTransportPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil transport accepted")
+		}
+	}()
+	NewNode(0, []int{0}, nil)
+}
+
+func TestGroupSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty group accepted")
+		}
+	}()
+	NewGroup(0)
+}
+
+// Property: after any sequence of (coordinator, key) writes with full
+// message delivery, every replica of every written key is Valid and all
+// replicas agree on the winning timestamp.
+func TestConvergenceProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		g := NewGroup(3)
+		keys := map[uint32]bool{}
+		for _, op := range ops {
+			coord := int(op) % 3
+			lpn := uint32(op>>2) % 8
+			g.Nodes[coord].Write(lpn, nil)
+			keys[lpn] = true
+			if op%4 == 0 {
+				g.drain() // vary interleaving
+			}
+		}
+		g.drain()
+		for lpn := range keys {
+			ts := g.Nodes[0].key(lpn).ts
+			for _, n := range g.Nodes {
+				if !n.CanRead(lpn) || n.key(lpn).ts != ts {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at least one replica can always serve a read for a key with no
+// in-flight write, the invariant the switch's redirection relies on.
+func TestReadAvailabilityProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		g := NewGroup(2)
+		for _, op := range ops {
+			lpn := uint32(op) % 4
+			g.Write(int(op)%2, lpn) // synchronous: commit before next op
+			if len(g.ReadableReplicas(lpn)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemovePeerCompletesPendingWrites(t *testing.T) {
+	g := NewGroup(2)
+	committed := false
+	g.Nodes[0].Write(6, func() { committed = true })
+	// Peer dies before acking.
+	g.Nodes[0].RemovePeer(1)
+	if !committed {
+		t.Fatal("pending write did not commit after peer removal")
+	}
+	// Future writes commit alone, without queuing messages for the dead.
+	solo := false
+	g.queue = nil
+	g.Nodes[0].Write(7, func() { solo = true })
+	if !solo {
+		t.Fatal("degraded write did not commit immediately")
+	}
+	for _, m := range g.queue {
+		if m.To == 1 && m.Type == MsgInv {
+			t.Fatal("INV still sent to removed peer")
+		}
+	}
+}
+
+func TestRemovePeerThreeNodeGroup(t *testing.T) {
+	g := NewGroup(3)
+	committed := false
+	g.Nodes[0].Write(9, func() { committed = true })
+	g.Nodes[0].RemovePeer(2) // one of two followers dies
+	if committed {
+		t.Fatal("write committed before the live follower acked")
+	}
+	g.drain()
+	if !committed {
+		t.Fatal("write never committed with the surviving follower")
+	}
+}

@@ -1,0 +1,129 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All RackBlox components run on virtual time measured in nanoseconds.
+// Events execute in (time, insertion-order) order, so a simulation with a
+// fixed seed is fully reproducible across runs and platforms.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time in nanoseconds.
+type Time = int64
+
+// Common durations in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// EventFunc is a callback executed at its scheduled virtual time.
+type EventFunc func(now Time)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  EventFunc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// processed counts executed events, useful as a runaway guard in tests.
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine with time zero and no pending events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Processed reports the number of executed events so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn EventFunc) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn EventFunc) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes Run and RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn(e.now)
+	return true
+}
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline stay pending.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

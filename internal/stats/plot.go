@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlotCDF renders an ASCII tail-CDF of the distribution, the terminal
+// equivalent of the paper's Fig. 16/19 panels. width sets the bar span.
+func (d Dist) PlotCDF(title string, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	pcts := []float64{50, 90, 95, 98.5, 99, 99.5, 99.9, 100}
+	max := d.Percentile(100)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, d.Len())
+	if max == 0 {
+		b.WriteString("  (empty)\n")
+		return b.String()
+	}
+	for _, p := range pcts {
+		v := d.Percentile(p)
+		bar := int(float64(v) / float64(max) * float64(width))
+		if bar < 1 && v > 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  p%-5.4g |%-*s| %s\n", p, width, strings.Repeat("#", bar), Ms(v))
+	}
+	return b.String()
+}
+
+// Histogram renders an ASCII latency histogram with the given number of
+// equal-width buckets over [min, max].
+func (d Dist) Histogram(buckets, width int) string {
+	if buckets < 2 {
+		buckets = 10
+	}
+	if width < 10 {
+		width = 40
+	}
+	if d.Len() == 0 {
+		return "(empty)\n"
+	}
+	lo, hi := d.Min(), d.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := (hi - lo + int64(buckets) - 1) / int64(buckets)
+	counts := make([]int, buckets)
+	for _, v := range d.v {
+		idx := int((v - lo) / span)
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		counts[idx]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "%10s-%10s |%-*s| %d\n",
+			Us(lo+int64(i)*span), Us(lo+int64(i+1)*span), width,
+			strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+// Package stats collects latency samples and computes the summary
+// statistics reported throughout the RackBlox evaluation: percentiles
+// (P50..P99.9), means, throughput, and per-stage latency breakdowns.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one completed I/O request with its per-stage latencies,
+// all in nanoseconds of virtual time.
+type Sample struct {
+	// Total is the end-to-end latency observed by the client.
+	Total int64
+	// NetIn is time spent in the network from client to server.
+	NetIn int64
+	// Queue is time spent waiting in the storage stack's I/O queue.
+	Queue int64
+	// Device is flash service time (including any GC blocking).
+	Device int64
+	// NetOut is time from the server back to the client.
+	NetOut int64
+	// Write reports whether this was a write request.
+	Write bool
+	// Redirected reports whether the switch redirected this request.
+	Redirected bool
+}
+
+// Storage returns the storage-stack portion of the latency (queue+device),
+// the "Stor" series of Fig. 15.
+func (s Sample) Storage() int64 { return s.Queue + s.Device }
+
+// Recorder accumulates samples for one experiment run.
+// It is not safe for concurrent use; the simulation is single-threaded.
+type Recorder struct {
+	samples []Sample
+	// start/end bound the measurement window for throughput.
+	start, end int64
+	redirects  int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add records one completed request finishing at virtual time now.
+func (r *Recorder) Add(s Sample, now int64) {
+	if len(r.samples) == 0 {
+		r.start = now
+	}
+	if now > r.end {
+		r.end = now
+	}
+	if s.Redirected {
+		r.redirects++
+	}
+	r.samples = append(r.samples, s)
+}
+
+// Len returns the number of recorded samples.
+func (r *Recorder) Len() int { return len(r.samples) }
+
+// Redirects returns how many samples were redirected by the switch.
+func (r *Recorder) Redirects() int { return r.redirects }
+
+// Reset clears all samples while keeping capacity.
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.start, r.end, r.redirects = 0, 0, 0
+}
+
+// filter returns latencies selected by keep and extracted by get, sorted.
+func (r *Recorder) filter(keep func(Sample) bool, get func(Sample) int64) []int64 {
+	out := make([]int64, 0, len(r.samples))
+	for _, s := range r.samples {
+		if keep == nil || keep(s) {
+			out = append(out, get(s))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func isRead(s Sample) bool  { return !s.Write }
+func isWrite(s Sample) bool { return s.Write }
+func total(s Sample) int64  { return s.Total }
+
+// Dist is an immutable sorted latency distribution.
+type Dist struct{ v []int64 }
+
+// Reads returns the end-to-end latency distribution of reads.
+func (r *Recorder) Reads() Dist { return Dist{r.filter(isRead, total)} }
+
+// Writes returns the end-to-end latency distribution of writes.
+func (r *Recorder) Writes() Dist { return Dist{r.filter(isWrite, total)} }
+
+// All returns the end-to-end latency distribution of all requests.
+func (r *Recorder) All() Dist { return Dist{r.filter(nil, total)} }
+
+// ReadStorage returns the storage-only latency distribution of reads.
+func (r *Recorder) ReadStorage() Dist {
+	return Dist{r.filter(isRead, func(s Sample) int64 { return s.Storage() })}
+}
+
+// WriteStorage returns the storage-only latency distribution of writes.
+func (r *Recorder) WriteStorage() Dist {
+	return Dist{r.filter(isWrite, func(s Sample) int64 { return s.Storage() })}
+}
+
+// Throughput returns completed requests per second of virtual time (IOPS).
+func (r *Recorder) Throughput() float64 {
+	dur := r.end - r.start
+	if dur <= 0 || len(r.samples) < 2 {
+		return 0
+	}
+	return float64(len(r.samples)-1) / (float64(dur) / 1e9)
+}
+
+// Len returns the number of values in the distribution.
+func (d Dist) Len() int { return len(d.v) }
+
+// Percentile returns the p-th percentile (0 < p <= 100) using nearest-rank.
+// An empty distribution returns 0.
+func (d Dist) Percentile(p float64) int64 {
+	if len(d.v) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return d.v[0]
+	}
+	if p >= 100 {
+		return d.v[len(d.v)-1]
+	}
+	// The small epsilon keeps e.g. ceil(99.9/100*1000) at rank 999 despite
+	// binary floating point rounding 0.999*1000 up to 999.0000000000001.
+	rank := int(math.Ceil(p/100*float64(len(d.v)) - 1e-9))
+	if rank < 1 {
+		rank = 1
+	}
+	return d.v[rank-1]
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (d Dist) Mean() float64 {
+	if len(d.v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range d.v {
+		sum += float64(v)
+	}
+	return sum / float64(len(d.v))
+}
+
+// Max returns the largest value, or 0 when empty.
+func (d Dist) Max() int64 {
+	if len(d.v) == 0 {
+		return 0
+	}
+	return d.v[len(d.v)-1]
+}
+
+// Min returns the smallest value, or 0 when empty.
+func (d Dist) Min() int64 {
+	if len(d.v) == 0 {
+		return 0
+	}
+	return d.v[0]
+}
+
+// P50, P75, P95, P99, P999 are the percentiles the paper reports.
+func (d Dist) P50() int64  { return d.Percentile(50) }
+func (d Dist) P75() int64  { return d.Percentile(75) }
+func (d Dist) P95() int64  { return d.Percentile(95) }
+func (d Dist) P99() int64  { return d.Percentile(99) }
+func (d Dist) P999() int64 { return d.Percentile(99.9) }
+
+// CDFPoint is one (percentile, latency) point of a tail CDF.
+type CDFPoint struct {
+	Pct     float64
+	Latency int64
+}
+
+// TailCDF evaluates the distribution at the percentiles used in Figs. 16
+// and 19 (98.5, 99, 99.5, 99.9) unless explicit points are given.
+func (d Dist) TailCDF(pcts ...float64) []CDFPoint {
+	if len(pcts) == 0 {
+		pcts = []float64{98.5, 99, 99.5, 99.9}
+	}
+	out := make([]CDFPoint, len(pcts))
+	for i, p := range pcts {
+		out[i] = CDFPoint{Pct: p, Latency: d.Percentile(p)}
+	}
+	return out
+}
+
+// Ms formats a nanosecond latency as milliseconds with two decimals,
+// the unit used in the paper's figures.
+func Ms(ns int64) string { return fmt.Sprintf("%.2fms", float64(ns)/1e6) }
+
+// Us formats a nanosecond latency as microseconds.
+func Us(ns int64) string { return fmt.Sprintf("%.1fus", float64(ns)/1e3) }
+
+// Normalize returns v/base, guarding against a zero base.
+func Normalize(v, base int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(v) / float64(base)
+}
+
+// Speedup returns base/v (how many times faster v is than base).
+func Speedup(base, v int64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return float64(base) / float64(v)
+}
+
+// RawSamples exposes the recorder's samples for diagnostic tooling.
+func RawSamples(r *Recorder) []Sample { return r.samples }

@@ -1,0 +1,72 @@
+package switchsim
+
+import (
+	"testing"
+
+	"rackblox/internal/packet"
+)
+
+func TestFailoverRewritesReads(t *testing.T) {
+	h := newHarness(t, nil)
+	h.sw.Failover(vssdA, vssdB)
+	out := h.send(packet.Packet{Op: packet.OpRead, VSSD: vssdA, SrcIP: client, DstIP: serverA})
+	if out[0].VSSD != vssdB || out[0].DstIP != serverB {
+		t.Fatalf("read not failed over: %+v", out[0])
+	}
+	if h.sw.Stats().FailedOver != 1 {
+		t.Fatal("failover not counted")
+	}
+}
+
+func TestFailoverRewritesWrites(t *testing.T) {
+	h := newHarness(t, nil)
+	h.sw.Failover(vssdA, vssdB)
+	out := h.send(packet.Packet{Op: packet.OpWrite, VSSD: vssdA, SrcIP: client, DstIP: serverA})
+	if out[0].VSSD != vssdB || out[0].DstIP != serverB {
+		t.Fatalf("write not failed over: %+v", out[0])
+	}
+}
+
+func TestFailoverClearsStaleGCBit(t *testing.T) {
+	h := newHarness(t, nil)
+	setGC(h, vssdA, packet.GCRegular)
+	h.sw.Failover(vssdA, vssdB)
+	if h.sw.GCStatus(vssdA) {
+		t.Fatal("dead vSSD still marked collecting")
+	}
+}
+
+func TestFailoverCleared(t *testing.T) {
+	h := newHarness(t, nil)
+	h.sw.Failover(vssdA, vssdB)
+	h.sw.FailoverCleared(vssdA)
+	out := h.send(packet.Packet{Op: packet.OpRead, VSSD: vssdA, SrcIP: client, DstIP: serverA})
+	if out[0].VSSD != vssdA {
+		t.Fatalf("cleared failover still rewriting: %+v", out[0])
+	}
+}
+
+func TestFailoverToUnknownSurvivorForwardsAsIs(t *testing.T) {
+	h := newHarness(t, nil)
+	h.sw.Failover(vssdA, 999) // survivor not in the destination table
+	out := h.send(packet.Packet{Op: packet.OpRead, VSSD: vssdA, SrcIP: client, DstIP: serverA})
+	if out[0].VSSD != vssdA || out[0].DstIP != serverA {
+		t.Fatalf("rewrite happened without a destination: %+v", out[0])
+	}
+}
+
+func TestFailoverComposesWithRedirection(t *testing.T) {
+	// A failed-over read whose new target is collecting still redirects
+	// per Algorithm 1 — to the new target's replica (the dead vSSD).
+	// Since the dead vSSD cannot serve, the switch forwards as-is when
+	// the replica is the failed one; this test pins the composition.
+	h := newHarness(t, nil)
+	h.sw.Failover(vssdA, vssdB)
+	setGC(h, vssdB, packet.GCRegular)
+	out := h.send(packet.Packet{Op: packet.OpRead, VSSD: vssdA, SrcIP: client, DstIP: serverA})
+	// vssdB is collecting; its replica (vssdA) is not marked collecting,
+	// so Algorithm 1 redirects back toward vssdA's registered server.
+	if len(out) != 1 {
+		t.Fatalf("forwarded %d packets", len(out))
+	}
+}

@@ -1,0 +1,294 @@
+// Package switchsim simulates the RackBlox ToR switch data plane: the
+// replica and destination tables of §3.3, the packet-processing workflow
+// of Algorithm 1 (read redirection, GC accept/delay, recirculation), INT
+// per-hop latency accounting, and the egress scheduling policies of §4.5.2
+// (token bucket, fair queuing, priority).
+package switchsim
+
+import (
+	"fmt"
+
+	"rackblox/internal/packet"
+	"rackblox/internal/sim"
+)
+
+// replicaEntry is one row of the replica table (Fig. 5a): the GC status of
+// a vSSD and the id of its in-rack replica.
+type replicaEntry struct {
+	gc      bool
+	replica uint32
+}
+
+// destEntry is one row of the destination table (Fig. 5b): the GC status
+// of a vSSD and the IP of the server hosting it.
+type destEntry struct {
+	gc bool
+	ip uint32
+}
+
+// Forwarder delivers a packet leaving the switch toward pkt.DstIP. The
+// rack composition supplies it and charges the ToR->host hop latency.
+type Forwarder func(pkt packet.Packet)
+
+// Stats counts data-plane events for the evaluation.
+type Stats struct {
+	Forwarded      int64
+	Redirected     int64
+	FailedOver     int64
+	GCAccepted     int64
+	GCDelayed      int64
+	GCFinished     int64
+	Recirculations int64
+	Dropped        int64
+}
+
+// Switch is the programmable ToR switch.
+type Switch struct {
+	eng     *sim.Engine
+	replica map[uint32]*replicaEntry
+	dest    map[uint32]*destEntry
+	// failover maps a dead vSSD id to its surviving replica: reads AND
+	// writes are rewritten until the instance is re-replicated (§3.7).
+	failover map[uint32]uint32
+	qdisc    Qdisc
+	forward  Forwarder
+	stats    Stats
+
+	// PipelineLatency is the per-packet match-action latency (Tofino-class
+	// switches process in under a microsecond).
+	PipelineLatency sim.Time
+	// RecirculateLatency is the extra pipeline pass taken by soft gc_op
+	// packets, which must read the replica's state and update their own.
+	RecirculateLatency sim.Time
+
+	// dropRate injects gc_op reply loss (link failure testing, §3.5.1:
+	// the vSSD retries three times then collects anyway).
+	dropRate float64
+	dropRNG  *sim.RNG
+}
+
+// New builds a switch with the given egress discipline and forwarder.
+func New(eng *sim.Engine, q Qdisc, fwd Forwarder) *Switch {
+	if q == nil {
+		q = Passthrough{}
+	}
+	return &Switch{
+		eng:                eng,
+		replica:            make(map[uint32]*replicaEntry),
+		dest:               make(map[uint32]*destEntry),
+		failover:           make(map[uint32]uint32),
+		qdisc:              q,
+		forward:            fwd,
+		PipelineLatency:    800 * sim.Nanosecond,
+		RecirculateLatency: 800 * sim.Nanosecond,
+	}
+}
+
+// Stats returns a copy of the event counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// SetDropRate makes the switch drop gc_op replies with probability p,
+// for failure-injection tests.
+func (s *Switch) SetDropRate(p float64, rng *sim.RNG) {
+	s.dropRate = p
+	s.dropRNG = rng
+}
+
+// TableSizeBytes reports the SRAM the tables would occupy on-switch:
+// replica rows are 1B GC + 4B replica id, destination rows 1B GC + 4B IP,
+// both keyed by a 4-byte vSSD id (§3.3 sizes the maximum at 1.3 MB).
+func (s *Switch) TableSizeBytes() int {
+	return len(s.replica)*(4+1+4) + len(s.dest)*(4+1+4)
+}
+
+// Registered reports whether a vSSD has table state.
+func (s *Switch) Registered(vssd uint32) bool {
+	_, ok := s.replica[vssd]
+	return ok
+}
+
+// GCStatus exposes the replica-table GC bit (tests and the controller).
+func (s *Switch) GCStatus(vssd uint32) bool {
+	if e, ok := s.replica[vssd]; ok {
+		return e.gc
+	}
+	return false
+}
+
+// ReplicaOf returns the registered replica id.
+func (s *Switch) ReplicaOf(vssd uint32) (uint32, bool) {
+	if e, ok := s.replica[vssd]; ok {
+		return e.replica, true
+	}
+	return 0, false
+}
+
+// DestIP returns the registered server IP for a vSSD.
+func (s *Switch) DestIP(vssd uint32) (uint32, bool) {
+	if e, ok := s.dest[vssd]; ok {
+		return e.ip, true
+	}
+	return 0, false
+}
+
+// Process handles one packet arriving at the switch at the current virtual
+// time. The packet passes the egress discipline, then the Algorithm 1
+// match-action logic, and leaves via the Forwarder with its INT latency
+// updated by the full in-switch dwell time.
+func (s *Switch) Process(pkt packet.Packet) {
+	now := s.eng.Now()
+	release := s.qdisc.Admit(pkt, now)
+	if release < now {
+		release = now
+	}
+	s.eng.At(release, func(at sim.Time) {
+		s.runPipeline(pkt, now, at)
+	})
+}
+
+// runPipeline applies Algorithm 1 after the packet clears the egress queue.
+func (s *Switch) runPipeline(pkt packet.Packet, arrived, now sim.Time) {
+	dwell := now - arrived + s.PipelineLatency
+	switch pkt.Op {
+	case packet.OpCreateVSSD:
+		s.handleCreate(pkt)
+		return // control-plane insert; no data-plane forward
+	case packet.OpDelVSSD:
+		delete(s.replica, pkt.VSSD)
+		delete(s.dest, pkt.VSSD)
+		return
+	case packet.OpWrite:
+		// Writes are never redirected (Algorithm 1 line 2-3) — unless
+		// their target failed, in which case the surviving replica is
+		// the only copy left to apply them.
+		s.applyFailover(&pkt)
+		pkt.AddLatency(dwell)
+		s.emit(pkt)
+	case packet.OpRead:
+		s.handleRead(pkt, dwell)
+	case packet.OpGC:
+		s.handleGC(pkt, dwell)
+	case packet.OpResponse:
+		pkt.AddLatency(dwell)
+		s.emit(pkt)
+	default:
+		s.stats.Dropped++
+	}
+}
+
+func (s *Switch) handleCreate(pkt packet.Packet) {
+	// Register the vSSD and pre-register its replica's destination so
+	// redirection works before the replica's own create arrives.
+	s.replica[pkt.VSSD] = &replicaEntry{replica: pkt.ReplicaVSSD}
+	s.dest[pkt.VSSD] = &destEntry{ip: pkt.SrcIP}
+	if _, ok := s.dest[pkt.ReplicaVSSD]; !ok {
+		s.dest[pkt.ReplicaVSSD] = &destEntry{ip: pkt.ReplicaIP}
+	}
+}
+
+// handleRead implements Algorithm 1 lines 4-9: redirect a read away from a
+// collecting vSSD when its replica is idle.
+func (s *Switch) handleRead(pkt packet.Packet, dwell sim.Time) {
+	s.applyFailover(&pkt)
+	re, ok := s.replica[pkt.VSSD]
+	if ok && re.gc {
+		if de, ok2 := s.dest[re.replica]; ok2 && !de.gc {
+			pkt.DstIP = de.ip
+			pkt.VSSD = re.replica
+			s.stats.Redirected++
+		}
+		// If both the vSSD and its replica are collecting, forward as is.
+	}
+	pkt.AddLatency(dwell)
+	s.emit(pkt)
+}
+
+// handleGC implements Algorithm 1 lines 10-25.
+func (s *Switch) handleGC(pkt packet.Packet, dwell sim.Time) {
+	re, ok := s.replica[pkt.VSSD]
+	if !ok {
+		s.stats.Dropped++
+		return
+	}
+	de := s.dest[pkt.VSSD]
+	re.gc = true
+	switch pkt.GC {
+	case packet.GCSoft:
+		// Soft requests read the replica's state and update their own:
+		// one extra pipeline pass (recirculation) keeps the two register
+		// accesses consistent.
+		s.stats.Recirculations++
+		dwell += s.RecirculateLatency
+		replicaBusy := false
+		if rd, ok2 := s.dest[re.replica]; ok2 && rd.gc {
+			replicaBusy = true
+		}
+		if replicaBusy {
+			pkt.GC = packet.GCDelay
+			re.gc = false
+			if de != nil {
+				de.gc = false // recirculated update keeps both tables consistent
+			}
+			s.stats.GCDelayed++
+		} else {
+			pkt.GC = packet.GCAccept
+			if de != nil {
+				de.gc = true
+			}
+			s.stats.GCAccepted++
+		}
+	case packet.GCFinish:
+		re.gc = false
+		if de != nil {
+			de.gc = false
+		}
+		s.stats.GCFinished++
+		return // finish needs no reply
+	default: // regular and background: never denied
+		if de != nil {
+			de.gc = true
+		}
+		pkt.GC = packet.GCAccept
+		s.stats.GCAccepted++
+	}
+	// Reply to the requesting server.
+	pkt.DstIP, pkt.SrcIP = pkt.SrcIP, pkt.DstIP
+	pkt.AddLatency(dwell)
+	if s.dropRate > 0 && s.dropRNG != nil && s.dropRNG.Bool(s.dropRate) {
+		s.stats.Dropped++
+		return
+	}
+	s.emit(pkt)
+}
+
+// Failover marks vssd dead: the data plane rewrites its traffic to the
+// surviving replica until re-replication re-registers the pair (§3.7:
+// "On server failure, RackBlox replicates the replicas to other servers
+// and updates their switches").
+func (s *Switch) Failover(vssd, survivor uint32) {
+	s.failover[vssd] = survivor
+	if e, ok := s.replica[vssd]; ok {
+		e.gc = false
+	}
+}
+
+// FailoverCleared removes a failover entry after recovery.
+func (s *Switch) FailoverCleared(vssd uint32) { delete(s.failover, vssd) }
+
+func (s *Switch) applyFailover(pkt *packet.Packet) {
+	if survivor, ok := s.failover[pkt.VSSD]; ok {
+		if de, ok2 := s.dest[survivor]; ok2 {
+			pkt.VSSD = survivor
+			pkt.DstIP = de.ip
+			s.stats.FailedOver++
+		}
+	}
+}
+
+func (s *Switch) emit(pkt packet.Packet) {
+	s.stats.Forwarded++
+	if s.forward == nil {
+		panic(fmt.Sprintf("switchsim: no forwarder for packet %+v", pkt))
+	}
+	s.forward(pkt)
+}

@@ -1,0 +1,245 @@
+package wear
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Servers = 4
+	cfg.SSDsPerServer = 8
+	return cfg
+}
+
+func noSwap(cfg Config) Config {
+	cfg.LocalPeriodDays = 0
+	cfg.GlobalPeriodDays = 0
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestRoundRobinPlacementFillsAllSlots(t *testing.T) {
+	r, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, server := range r.SSDs {
+		for d, ssd := range server {
+			if len(ssd.Slots) != r.cfg.VSSDsPerSSD {
+				t.Fatalf("server %d ssd %d has %d slots, want %d",
+					s, d, len(ssd.Slots), r.cfg.VSSDsPerSSD)
+			}
+			if ssd.Rate() <= 0 {
+				t.Fatalf("server %d ssd %d has zero erase rate", s, d)
+			}
+		}
+	}
+}
+
+func TestWearAccrues(t *testing.T) {
+	r, _ := New(noSwap(smallConfig()))
+	r.RunDays(10)
+	for _, server := range r.SSDs {
+		for _, ssd := range server {
+			if ssd.Wear <= 0 {
+				t.Fatal("no wear after 10 days")
+			}
+		}
+	}
+	if r.Day() != 10 {
+		t.Fatalf("day = %d", r.Day())
+	}
+}
+
+func TestNoSwapDevelopsImbalance(t *testing.T) {
+	r, _ := New(noSwap(smallConfig()))
+	r.RunWeeks(52)
+	if r.LocalSwaps != 0 || r.GlobalSwaps != 0 {
+		t.Fatal("swaps happened with swapping disabled")
+	}
+	if r.RackImbalance() < 1.15 {
+		t.Fatalf("no-swap rack imbalance = %f, expected drift well above 1.1",
+			r.RackImbalance())
+	}
+}
+
+func TestLocalBalancerBoundsServerImbalance(t *testing.T) {
+	cfg := smallConfig()
+	cfg.GlobalPeriodDays = 0 // local only
+	r, _ := New(cfg)
+	r.RunWeeks(52)
+	if r.LocalSwaps == 0 {
+		t.Fatal("local balancer never swapped")
+	}
+	for s := range r.SSDs {
+		if im := r.ServerImbalance(s); im > 1.25 {
+			t.Fatalf("server %d imbalance %f after a year of local balancing", s, im)
+		}
+	}
+}
+
+func TestTwoLevelBalancingBeatsNoSwap(t *testing.T) {
+	balanced, _ := New(smallConfig())
+	unbalanced, _ := New(noSwap(smallConfig()))
+	balanced.RunWeeks(80)
+	unbalanced.RunWeeks(80)
+	if balanced.RackImbalance() >= unbalanced.RackImbalance() {
+		t.Fatalf("balanced %f >= unbalanced %f",
+			balanced.RackImbalance(), unbalanced.RackImbalance())
+	}
+	if balanced.RackImbalance() > 1.2 {
+		t.Fatalf("rack imbalance %f after 80 weeks of two-level balancing",
+			balanced.RackImbalance())
+	}
+}
+
+func TestShorterGlobalPeriodBalancesTighter(t *testing.T) {
+	fast := smallConfig()
+	fast.GlobalPeriodDays = 28
+	slow := smallConfig()
+	slow.GlobalPeriodDays = 84
+	rf, _ := New(fast)
+	rs, _ := New(slow)
+	rf.RunWeeks(80)
+	rs.RunWeeks(80)
+	// More frequent global swaps must not be worse (Fig. 23 ordering).
+	if rf.RackImbalance() > rs.RackImbalance()+0.05 {
+		t.Fatalf("4-week swaps imbalance %f worse than 12-week %f",
+			rf.RackImbalance(), rs.RackImbalance())
+	}
+}
+
+func TestSwapChargesMigrationCost(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SwapCostErases = 5
+	r, _ := New(cfg)
+	r.RunWeeks(30)
+	if r.LocalSwaps+r.GlobalSwaps == 0 {
+		t.Skip("no swaps occurred to observe cost")
+	}
+	swapped := 0
+	for _, server := range r.SSDs {
+		for _, ssd := range server {
+			swapped += ssd.Swaps
+		}
+	}
+	if swapped == 0 {
+		t.Fatal("swap counters not maintained")
+	}
+}
+
+func TestReplacementCreatesFreshDrive(t *testing.T) {
+	cfg := noSwap(smallConfig())
+	cfg.ReplaceProbPerYear = 50 // extremely failure-prone for the test
+	r, _ := New(cfg)
+	r.RunWeeks(20)
+	if r.Replacements == 0 {
+		t.Fatal("no replacements at huge failure rate")
+	}
+}
+
+func TestBalancerRecoversFromReplacement(t *testing.T) {
+	cfg := smallConfig()
+	r, _ := New(cfg)
+	r.RunWeeks(26)
+	// Force-replace one drive: wear drops to zero, imbalance jumps.
+	r.SSDs[0][0].Wear = 0
+	r.Replacements++
+	jump := r.ServerImbalance(0)
+	r.RunWeeks(54)
+	after := r.ServerImbalance(0)
+	if after >= jump {
+		t.Fatalf("imbalance did not recover after replacement: %f -> %f", jump, after)
+	}
+}
+
+func TestImbalanceDegenerate(t *testing.T) {
+	r, _ := New(smallConfig())
+	// Before any wear, imbalance is defined as 1.
+	if r.RackImbalance() != 1 {
+		t.Fatalf("fresh rack imbalance = %f, want 1", r.RackImbalance())
+	}
+}
+
+func TestServerWears(t *testing.T) {
+	r, _ := New(noSwap(smallConfig()))
+	r.RunDays(5)
+	w := r.ServerWears(0)
+	if len(w) != r.cfg.SSDsPerServer {
+		t.Fatalf("wears len = %d", len(w))
+	}
+	for _, v := range w {
+		if v <= 0 {
+			t.Fatal("zero wear entry")
+		}
+	}
+}
+
+// Property: imbalance is always >= 1 and finite, for any horizon and any
+// balancing configuration.
+func TestImbalanceBoundsProperty(t *testing.T) {
+	f := func(weeks uint8, local, global uint8) bool {
+		cfg := smallConfig()
+		cfg.LocalPeriodDays = int(local % 30)
+		cfg.GlobalPeriodDays = int(global % 90)
+		r, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r.RunWeeks(int(weeks % 40))
+		im := r.RackImbalance()
+		if im < 1 || im != im /* NaN */ {
+			return false
+		}
+		for s := range r.SSDs {
+			if v := r.ServerImbalance(s); v < 1 || v != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total workload rate is conserved by swapping (swaps move
+// placements, never create or destroy load).
+func TestRateConservationProperty(t *testing.T) {
+	f := func(weeks uint8) bool {
+		r, err := New(smallConfig())
+		if err != nil {
+			return false
+		}
+		before := totalRate(r)
+		r.RunWeeks(int(weeks%30) + 1)
+		after := totalRate(r)
+		diff := before - after
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func totalRate(r *Rack) float64 {
+	var sum float64
+	for _, server := range r.SSDs {
+		for _, ssd := range server {
+			sum += ssd.Rate()
+		}
+	}
+	return sum
+}

@@ -1,0 +1,134 @@
+// Package rackblox is a simulation-backed reproduction of RackBlox, the
+// software-defined rack-scale storage system with network-storage
+// co-design from SOSP 2023.
+//
+// The library simulates a full rack — clients, a programmable ToR switch,
+// storage servers with open-channel SSDs, and replicated virtual SSDs —
+// and implements the paper's three mechanisms on top:
+//
+//   - coordinated I/O scheduling: the switch measures network latency with
+//     in-band telemetry and the storage scheduler orders requests by
+//     end-to-end urgency (Net_time + Storage_time + Predict_time);
+//   - coordinated garbage collection: the switch tracks per-vSSD GC state,
+//     redirects reads to the idle replica, delays soft GC requests while
+//     the replica collects, and lets devices run background GC in idle
+//     windows;
+//   - rack-scale wear leveling: a two-level balancer equalizes SSD wear
+//     inside each server and across the rack.
+//
+// Quick start:
+//
+//	cfg := rackblox.DefaultConfig()
+//	cfg.System = rackblox.SystemRackBlox
+//	res, err := rackblox.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println("P99.9 read:", res.Recorder.Reads().P999())
+//
+// The four systems of the paper's evaluation are available as
+// SystemVDC, SystemRackBloxSoftware, SystemRackBloxCoordIO and
+// SystemRackBlox; every table and figure of §4 can be regenerated with
+// the Experiment function or the cmd/rackbench binary.
+package rackblox
+
+import (
+	"rackblox/internal/core"
+	"rackblox/internal/experiments"
+	"rackblox/internal/flash"
+	"rackblox/internal/netsim"
+	"rackblox/internal/sched"
+	"rackblox/internal/stats"
+	"rackblox/internal/wear"
+	"rackblox/internal/workload"
+)
+
+// Config parameterizes one rack experiment; see DefaultConfig for the
+// paper's setup.
+type Config = core.Config
+
+// WorkloadSpec selects the client workload (YCSB mixes or the Table 2
+// BenchBase applications).
+type WorkloadSpec = core.WorkloadSpec
+
+// Result is the outcome of one run: latency recorder plus event counters.
+type Result = core.Result
+
+// System identifies one of the four evaluated designs.
+type System = core.System
+
+// The evaluated systems (§4.1).
+const (
+	SystemVDC              = core.VDC
+	SystemRackBloxSoftware = core.RackBloxSoftware
+	SystemRackBloxCoordIO  = core.RackBloxCoordIO
+	SystemRackBlox         = core.RackBlox
+)
+
+// Sample is one completed request with its latency breakdown.
+type Sample = stats.Sample
+
+// Recorder accumulates samples and computes the evaluation's statistics.
+type Recorder = stats.Recorder
+
+// Dist is a latency distribution with percentile accessors.
+type Dist = stats.Dist
+
+// DefaultConfig returns the paper's default experimental setup, scaled to
+// simulation: four storage servers, four hardware-isolated vSSD pairs on
+// P-SSD-class devices, Kyber scheduling, 35%/25% GC thresholds, and YCSB
+// at a 50/50 read/write mix.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Systems lists the four designs in evaluation order.
+func Systems() []System { return core.Systems() }
+
+// Run executes one configured experiment end to end and returns its
+// latency distributions and event counters.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Device profiles of §4.5.3, fastest to slowest.
+func DeviceOptane() flash.Profile  { return flash.ProfileOptane() }
+func DeviceIntelDC() flash.Profile { return flash.ProfileIntelDC() }
+func DevicePSSD() flash.Profile    { return flash.ProfilePSSD() }
+
+// Network profiles of §4.5.3, fastest to slowest.
+func NetworkFast() netsim.Profile   { return netsim.ProfileFast() }
+func NetworkMedium() netsim.Profile { return netsim.ProfileMedium() }
+func NetworkSlow() netsim.Profile   { return netsim.ProfileSlow() }
+
+// Storage scheduler policies of §4.5.1, plus CFQ (the paper's
+// reference [17]).
+const (
+	SchedFIFO     = sched.FIFO
+	SchedDeadline = sched.Deadline
+	SchedKyber    = sched.Kyber
+	SchedCFQ      = sched.CFQ
+)
+
+// Workloads lists the five BenchBase applications of Table 2.
+func Workloads() []string { return workload.Names() }
+
+// ExperimentIDs lists every reproducible table/figure id.
+func ExperimentIDs() []string { return experiments.All() }
+
+// ExperimentTable is a printable experiment result.
+type ExperimentTable = experiments.Table
+
+// Experiment regenerates one of the paper's tables or figures by id
+// (e.g. "fig9", "table2"). scale in (0,1] shrinks the measured window;
+// use 1.0 to reproduce at full length.
+func Experiment(id string, scale float64) ([]*ExperimentTable, error) {
+	return experiments.ByID(id, experiments.Scale(scale))
+}
+
+// WearConfig parameterizes the rack-scale wear-leveling simulation.
+type WearConfig = wear.Config
+
+// WearRack is the wear-simulation state.
+type WearRack = wear.Rack
+
+// DefaultWearConfig reproduces the Fig. 22/23 setup: 32 servers x 16 SSDs
+// x 4 vSSDs, 12-day local and 8-week global swap periods.
+func DefaultWearConfig() WearConfig { return wear.DefaultConfig() }
+
+// NewWearRack builds a wear-leveling simulation.
+func NewWearRack(cfg WearConfig) (*WearRack, error) { return wear.New(cfg) }

@@ -1,0 +1,83 @@
+package rackblox
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestPublicRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.System = SystemRackBlox
+	cfg.Duration = 200 * int64(time.Millisecond)
+	cfg.Warmup = 50 * int64(time.Millisecond)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorder.Len() == 0 {
+		t.Fatal("no samples")
+	}
+	if res.Recorder.Reads().P999() <= 0 {
+		t.Fatal("no read tail")
+	}
+}
+
+func TestSystemsExported(t *testing.T) {
+	sys := Systems()
+	if len(sys) != 4 {
+		t.Fatalf("systems = %d", len(sys))
+	}
+	if sys[0] != SystemVDC || sys[3] != SystemRackBlox {
+		t.Fatal("system order")
+	}
+}
+
+func TestProfilesExported(t *testing.T) {
+	if !(DeviceOptane().ReadPage < DeviceIntelDC().ReadPage &&
+		DeviceIntelDC().ReadPage < DevicePSSD().ReadPage) {
+		t.Fatal("device profile ordering")
+	}
+	if !(NetworkFast().MedianNS < NetworkMedium().MedianNS &&
+		NetworkMedium().MedianNS < NetworkSlow().MedianNS) {
+		t.Fatal("network profile ordering")
+	}
+}
+
+func TestWorkloadsExported(t *testing.T) {
+	if len(Workloads()) != 5 {
+		t.Fatalf("workloads = %v", Workloads())
+	}
+}
+
+func TestExperimentByID(t *testing.T) {
+	tables, err := Experiment("table2", 0.1)
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("Experiment(table2) = %v, %v", tables, err)
+	}
+	if len(ExperimentIDs()) < 15 {
+		t.Fatalf("experiment ids = %v", ExperimentIDs())
+	}
+	if _, err := Experiment("bogus", 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestWearFacade(t *testing.T) {
+	cfg := DefaultWearConfig()
+	cfg.Servers = 4
+	r, err := NewWearRack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunWeeks(10)
+	if r.RackImbalance() < 1 {
+		t.Fatal("imbalance below 1")
+	}
+}

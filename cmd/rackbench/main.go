@@ -6,26 +6,46 @@
 //	rackbench -list
 //	rackbench -exp fig9
 //	rackbench -exp all -scale 1.0
+//	rackbench -redundancy rs4,2 -scale 0.5
+//	rackbench -exp figec -json auto
 //
 // Scale < 1 shrinks the measured window proportionally (useful for quick
 // looks); 1.0 reproduces the full-length runs recorded in EXPERIMENTS.md.
+//
+// -redundancy runs a single YCSB 50/50 summary with the chosen backend
+// ("replication" or "rsK,M", e.g. rs4,2) instead of a paper experiment.
+// -json FILE writes every produced table as machine-readable JSON
+// ("auto" derives a BENCH_<exp>.json name), so successive runs can be
+// diffed to track the performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"rackblox/internal/core"
 	"rackblox/internal/experiments"
 )
 
+// benchReport is the -json file layout.
+type benchReport struct {
+	Experiments []string             `json:"experiments"`
+	Scale       float64              `json:"scale"`
+	Redundancy  string               `json:"redundancy,omitempty"`
+	Tables      []*experiments.Table `json:"tables"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale = flag.Float64("scale", 1.0, "measured-window scale in (0,1]")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale      = flag.Float64("scale", 1.0, "measured-window scale in (0,1]")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		redundancy = flag.String("redundancy", "", "run one YCSB summary with this backend: 'replication' or 'rsK,M' (e.g. rs4,2)")
+		jsonOut    = flag.String("json", "", "write results as JSON to this file ('auto' derives BENCH_<exp>.json)")
 	)
 	flag.Parse()
 
@@ -37,20 +57,83 @@ func main() {
 		return
 	}
 
-	ids := experiments.All()
-	if *exp != "all" {
-		ids = strings.Split(*exp, ",")
-	}
-	for _, id := range ids {
-		start := time.Now()
-		tables, err := experiments.ByID(strings.TrimSpace(id), experiments.Scale(*scale))
+	var tables []*experiments.Table
+	var ids []string
+	if *redundancy != "" {
+		spec, err := parseRedundancy(*redundancy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rackbench:", err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			fmt.Println(t.Format())
+		ids = []string{"redundancy"}
+		t, err := experiments.RedundancySummary(spec, experiments.Scale(*scale))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rackbench:", err)
+			os.Exit(1)
 		}
-		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		tables = append(tables, t)
+		fmt.Println(t.Format())
+	} else {
+		ids = experiments.All()
+		if *exp != "all" {
+			ids = strings.Split(*exp, ",")
+		}
+		for _, id := range ids {
+			start := time.Now()
+			ts, err := experiments.ByID(strings.TrimSpace(id), experiments.Scale(*scale))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rackbench:", err)
+				os.Exit(1)
+			}
+			for _, t := range ts {
+				fmt.Println(t.Format())
+			}
+			tables = append(tables, ts...)
+			fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
 	}
+
+	if *jsonOut != "" {
+		path := *jsonOut
+		if path == "auto" {
+			name := *exp
+			if *redundancy != "" {
+				name = "redundancy"
+			}
+			path = fmt.Sprintf("BENCH_%s.json", strings.ReplaceAll(name, ",", "_"))
+		}
+		if err := writeJSON(path, benchReport{
+			Experiments: ids,
+			Scale:       *scale,
+			Redundancy:  *redundancy,
+			Tables:      tables,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "rackbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// parseRedundancy accepts "replication" or "rsK,M" (e.g. "rs4,2").
+func parseRedundancy(s string) (core.RedundancySpec, error) {
+	switch {
+	case s == "replication":
+		return core.Replication(), nil
+	case strings.HasPrefix(s, "rs"):
+		var k, m int
+		if _, err := fmt.Sscanf(s[2:], "%d,%d", &k, &m); err != nil {
+			return core.RedundancySpec{}, fmt.Errorf("bad -redundancy %q: want rsK,M like rs4,2", s)
+		}
+		return core.ErasureCode(k, m), nil
+	}
+	return core.RedundancySpec{}, fmt.Errorf("bad -redundancy %q: want 'replication' or 'rsK,M'", s)
+}
+
+func writeJSON(path string, report benchReport) error {
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

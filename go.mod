@@ -1,0 +1,3 @@
+module rackblox
+
+go 1.22

@@ -12,6 +12,10 @@ import (
 // collocated tenant of each channel group also runs a background write
 // load (Fig. 21 runs YCSB on both group members).
 func (r *Rack) startClients() {
+	for _, g := range r.groups {
+		g := g
+		r.eng.After(g.gen.NextGap(), func(sim.Time) { r.issueEC(g) })
+	}
 	for i, pr := range r.pairs {
 		pr := pr
 		r.eng.After(pr.gen.NextGap(), func(sim.Time) { r.issue(pr) })
@@ -201,14 +205,22 @@ func (r *Rack) respond(st *reqState, inst *instance) {
 	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
 }
 
-// clientReceive records the completed request.
+// clientReceive records the completed request. Erasure-coded writes fan
+// out to 1+m chunk holders; the logical request completes when the last
+// sub-operation's response arrives, so its latency is the fan-out max.
 func (r *Rack) clientReceive(pkt packet.Packet) {
 	st, ok := r.reqs[pkt.Seq]
 	if !ok {
 		return
 	}
+	if st.group != nil {
+		st.ecPending--
+		if st.ecPending > 0 {
+			return
+		}
+	}
 	delete(r.reqs, pkt.Seq)
-	st.pair.inflight--
+	st.decInflight()
 	now := r.eng.Now()
 	if st.issue < r.cfg.Warmup {
 		return // warmup sample

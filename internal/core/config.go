@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rackblox/internal/ec"
 	"rackblox/internal/flash"
 	"rackblox/internal/netsim"
 	"rackblox/internal/sched"
@@ -55,6 +56,45 @@ func Systems() []System {
 	return []System{VDC, RackBloxSoftware, RackBloxCoordIO, RackBlox}
 }
 
+// RedundancyScheme selects how a volume's data survives failures.
+type RedundancyScheme int
+
+const (
+	// ReplicationScheme is the paper's design: every vSSD is a
+	// primary+replica pair kept strongly consistent with Hermes.
+	ReplicationScheme RedundancyScheme = iota
+	// ErasureCoded stripes every volume RS(k,m) over k+m chunk holders
+	// on distinct servers; reads of a failed or collecting chunk are
+	// reconstructed from any k survivors.
+	ErasureCoded
+)
+
+// RedundancySpec selects Replication (the existing Hermes pairs) or
+// ErasureCode{K, M} striping for every volume in the rack.
+type RedundancySpec struct {
+	Scheme RedundancyScheme
+	// K and M are the RS parameters; ignored under ReplicationScheme.
+	K, M int
+}
+
+// Replication returns the paper's 2-way Hermes replication spec.
+func Replication() RedundancySpec { return RedundancySpec{Scheme: ReplicationScheme} }
+
+// ErasureCode returns an RS(k,m) redundancy spec.
+func ErasureCode(k, m int) RedundancySpec {
+	return RedundancySpec{Scheme: ErasureCoded, K: k, M: m}
+}
+
+func (s RedundancySpec) String() string {
+	if s.Scheme == ErasureCoded {
+		return fmt.Sprintf("RS(%d,%d)", s.K, s.M)
+	}
+	return "2-replication"
+}
+
+// ec converts the spec into the ec package's parameterization.
+func (s RedundancySpec) ec() ec.Spec { return ec.Spec{K: s.K, M: s.M} }
+
 // WorkloadSpec selects the client workload per vSSD pair.
 type WorkloadSpec struct {
 	// Name is "YCSB" (uses WriteFrac) or one of the Table 2 workloads:
@@ -74,8 +114,13 @@ type Config struct {
 	// StorageServers is the number of storage servers (the testbed uses
 	// four plus one client server).
 	StorageServers int
-	// VSSDPairs is the number of primary+replica vSSD pairs.
+	// VSSDPairs is the number of logical volumes: primary+replica vSSD
+	// pairs under ReplicationScheme, RS(k,m) stripe groups under
+	// ErasureCoded.
 	VSSDPairs int
+	// Redundancy selects Hermes replication (default) or RS(k,m) erasure
+	// coding for every volume.
+	Redundancy RedundancySpec
 	// ChannelsPerVSSD sets each hardware-isolated vSSD's channel count.
 	ChannelsPerVSSD int
 	// SoftwareIsolated switches to the Fig. 21 setup: two
@@ -147,6 +192,9 @@ type Config struct {
 	// traffic over to the surviving replicas (§3.7).
 	FailServerIndex int
 	FailServerAt    sim.Time
+	// FailServers injects additional server crashes at FailServerAt, so
+	// erasure-coded racks can lose up to m chunk holders per stripe.
+	FailServers []int
 }
 
 // DefaultConfig returns the paper's default setup scaled to simulation:
@@ -158,6 +206,7 @@ func DefaultConfig() Config {
 		Seed:            1,
 		StorageServers:  4,
 		VSSDPairs:       4,
+		Redundancy:      Replication(),
 		ChannelsPerVSSD: 2,
 		Geometry: flash.Geometry{
 			Channels:        8,
@@ -230,9 +279,17 @@ func (c *Config) Validate() error {
 	if err := c.Geometry.Validate(); err != nil {
 		return err
 	}
+	if c.Redundancy.Scheme == ErasureCoded {
+		if err := c.Redundancy.ec().Validate(c.StorageServers); err != nil {
+			return err
+		}
+		if c.SoftwareIsolated {
+			return errors.New("core: erasure coding requires hardware-isolated vSSDs")
+		}
+	}
 	need := c.neededChannelsPerServer()
 	if need > c.Geometry.Channels {
-		return fmt.Errorf("core: %d vSSD pairs need %d channels/server, device has %d",
+		return fmt.Errorf("core: %d volumes need %d channels/server, device has %d",
 			c.VSSDPairs, need, c.Geometry.Channels)
 	}
 	if !(c.GCThreshold < c.SoftThreshold) {
@@ -257,9 +314,25 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// neededChannelsPerServer computes channel demand per server: with P pairs
-// round-robin over S servers, each server hosts ceil(2P/S) vSSD instances.
+// neededChannelsPerServer computes channel demand per server. With P
+// replicated pairs round-robin over S servers each server hosts
+// ceil(2P/S) instances; erasure-coded groups place per the rack-aware
+// Placer, so demand is the maximum of its actual assignment.
 func (c *Config) neededChannelsPerServer() int {
+	if c.Redundancy.Scheme == ErasureCoded {
+		placer := ec.Placer{Servers: c.StorageServers, Width: c.Redundancy.ec().Width()}
+		counts := make([]int, c.StorageServers)
+		most := 0
+		for g := 0; g < c.VSSDPairs; g++ {
+			for _, s := range placer.Place(g) {
+				counts[s]++
+				if counts[s] > most {
+					most = counts[s]
+				}
+			}
+		}
+		return most * c.ChannelsPerVSSD
+	}
 	instances := (2*c.VSSDPairs + c.StorageServers - 1) / c.StorageServers
 	return instances * c.ChannelsPerVSSD
 }

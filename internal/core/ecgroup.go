@@ -1,0 +1,367 @@
+package core
+
+import (
+	"rackblox/internal/ec"
+	"rackblox/internal/flash"
+	"rackblox/internal/packet"
+	"rackblox/internal/sched"
+	"rackblox/internal/sim"
+	"rackblox/internal/workload"
+)
+
+// Erasure-coding datapath constants.
+const (
+	// ecDecodeTime is the CPU cost of one RS(k,m) stripe decode on a
+	// degraded read (GF(2^8) matrix-vector over a 4 KB chunk).
+	ecDecodeTime = 8 * sim.Microsecond
+	// repairBatchStripes is how many stripes one background repair task
+	// rebuilds; batching keeps event counts proportional to lost
+	// capacity, not pages.
+	repairBatchStripes = 64
+	// maxECRetries bounds client retransmissions of an erasure-coded
+	// request whose sub-operations were swallowed by a crashed server.
+	maxECRetries = 5
+)
+
+// ecGroup is one erasure-coded volume: k data + m parity chunk holders
+// placed on distinct servers, with the client-side generator and the
+// background reconstructor that repairs lost chunks in GC idle windows.
+type ecGroup struct {
+	idx      int
+	spec     ec.Spec
+	striper  ec.Striper
+	insts    []*instance // k+m chunk holders, placement order
+	gen      workload.Generator
+	inflight int
+
+	// usedStripes is how many stripes the preconditioned keyspace
+	// touches; reconstruction of a lost chunk covers exactly these.
+	usedStripes int
+
+	recon          *ec.Reconstructor
+	repairArmed    bool
+	repairInFlight bool
+}
+
+// buildGroups creates the erasure-coded volumes: for each group, k+m
+// chunk-holder instances on distinct servers (rack-aware placement),
+// switch registration (create_vssd plus the stripe table), and the
+// workload generator over the striped keyspace.
+func (r *Rack) buildGroups() error {
+	cfg := r.cfg
+	spec := cfg.Redundancy.ec()
+	placer := ec.Placer{Servers: len(r.servers), Width: spec.Width()}
+	alloc := r.channelAllocator()
+
+	for gidx := 0; gidx < cfg.VSSDPairs; gidx++ {
+		g := &ecGroup{
+			idx:     gidx,
+			spec:    spec,
+			striper: ec.Striper{Spec: spec},
+			recon:   ec.NewReconstructor(),
+		}
+		width := spec.Width()
+		servers := placer.Place(gidx)
+		for i, sIdx := range servers {
+			srv := r.servers[sIdx]
+			id := uint32(100 + gidx*width + i)
+			nextID := uint32(100 + gidx*width + (i+1)%width)
+			inst, err := r.newInstance(srv, id, nextID, gidx, i == 0, alloc)
+			if err != nil {
+				return err
+			}
+			g.insts = append(g.insts, inst)
+		}
+
+		// Register every chunk holder in the ToR tables (create_vssd,
+		// replica = the next member so non-stripe paths degrade
+		// gracefully) and install the stripe group for degraded routing.
+		ids := make([]uint32, 0, width)
+		for i, inst := range g.insts {
+			next := g.insts[(i+1)%width]
+			r.sw.Process(packet.Packet{
+				Op: packet.OpCreateVSSD, VSSD: inst.id, SrcIP: inst.server.ip,
+				ReplicaVSSD: next.id, ReplicaIP: next.server.ip,
+			})
+			ids = append(ids, inst.id)
+		}
+		r.sw.RegisterStripe(ids)
+
+		perChunk := int(float64(g.insts[0].v.FTL.LogicalPages()) * cfg.KeyspaceFrac)
+		if perChunk < 1 {
+			perChunk = 1
+		}
+		g.usedStripes = perChunk
+		g.gen = r.makeGenerator(gidx, uint64(perChunk)*uint64(spec.K))
+		r.groups = append(r.groups, g)
+		if r.controller != nil {
+			r.controller.registerGroup(g)
+		}
+	}
+	r.eng.Run() // drain registration events
+	return nil
+}
+
+// writeHolders returns the instances a logical write must update: the
+// data chunk's holder plus the stripe's m parity holders.
+func (g *ecGroup) writeHolders(stripe, pos int) []*instance {
+	out := []*instance{g.insts[g.striper.DataHolder(stripe, pos)]}
+	for _, h := range g.striper.ParityHolders(stripe) {
+		out = append(out, g.insts[h])
+	}
+	return out
+}
+
+// adopter picks the surviving member that absorbs a dead holder's
+// traffic and rebuilt chunks: the next live member in group order.
+func (g *ecGroup) adopter(holder int) *instance {
+	n := len(g.insts)
+	for i := 1; i < n; i++ {
+		m := g.insts[(holder+i)%n]
+		if !m.server.failed {
+			return m
+		}
+	}
+	return nil
+}
+
+// readSources orders the chunk sources for a degraded reconstruction:
+// the coordinator's local chunk first (free of network hops), then idle
+// survivors, then collecting survivors as a last resort. Every member
+// holds exactly one chunk of every stripe, so any k of them suffice.
+func (g *ecGroup) readSources(coord *instance, now sim.Time) []*instance {
+	out := []*instance{coord}
+	var busy []*instance
+	for _, m := range g.insts {
+		if m == coord || m.server.failed {
+			continue
+		}
+		if m.v.InGC(now) {
+			busy = append(busy, m)
+			continue
+		}
+		out = append(out, m)
+	}
+	return append(out, busy...)
+}
+
+// issueEC sends one request from an erasure-coded volume's generator and
+// schedules the next arrival (semi-open loop, like issue for pairs).
+func (r *Rack) issueEC(g *ecGroup) {
+	now := r.eng.Now()
+	if now < r.stopIssuing {
+		r.eng.After(g.gen.NextGap(), func(sim.Time) { r.issueEC(g) })
+	}
+	if r.cfg.MaxClientInflight > 0 && g.inflight >= r.cfg.MaxClientInflight {
+		return
+	}
+
+	op := g.gen.Next()
+	r.seq++
+	st := &reqState{
+		seq:     r.seq,
+		write:   op.Write,
+		group:   g,
+		issue:   now,
+		userLPN: op.LPN,
+	}
+	r.reqs[st.seq] = st
+	g.inflight++
+	r.watchTimeout(st.seq)
+	r.sendEC(st)
+}
+
+// sendEC fans one logical request out to its chunk holders. A write
+// updates the data chunk and all m parity chunks (the RS small-write
+// amplification); a read goes to the data chunk's holder, and the switch
+// steers it to a survivor for degraded reconstruction when that holder
+// is collecting or failed. Every holder stores its chunk of stripe s at
+// local page s, so all sub-operations share one chunk-local LPN.
+func (r *Rack) sendEC(st *reqState) {
+	g := st.group
+	stripe, pos := g.striper.Stripe(int(st.userLPN))
+	st.lpn = uint32(stripe)
+	if st.write {
+		targets := g.writeHolders(stripe, pos)
+		st.ecPending = len(targets)
+		r.ecSubWrites += int64(len(targets))
+		for _, t := range targets {
+			r.sendECPacket(st, t, packet.OpWrite)
+		}
+		return
+	}
+	home := g.insts[g.striper.DataHolder(stripe, pos)]
+	st.homeID = home.id
+	st.ecPending = 1
+	r.sendECPacket(st, home, packet.OpRead)
+}
+
+// sendECPacket emits one sub-operation toward a chunk holder via the ToR.
+func (r *Rack) sendECPacket(st *reqState, inst *instance, op packet.Op) {
+	pkt := packet.Packet{
+		Op:    op,
+		SrcIP: r.clientIP,
+		DstIP: inst.server.ip,
+		Port:  packet.ReservedPort,
+		VSSD:  inst.id,
+		LPN:   st.lpn,
+		Seq:   st.seq,
+	}
+	hop := r.net.HopLatency(r.eng.Now())
+	pkt.AddLatency(hop)
+	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+}
+
+// startDegradedRead reconstructs a chunk at a surviving holder: the
+// switch steered this read away from its home, so the coordinator
+// fetches any k chunks of the stripe (its own local one plus k-1 remote)
+// and decodes. Remote fetches charge two network hops each way and the
+// source device's channel time; they bypass the remote scheduler queue,
+// modeling the priority repair lane real EC stores give chunk fetches.
+func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
+	r := s.rack
+	now := r.eng.Now()
+	st := r.reqs[req.Seq]
+	if st.dispatched == 0 {
+		st.dispatched = now
+	}
+	st.redirected = true
+	r.degradedReads++
+	g := st.group
+	stripe := int(st.lpn)
+
+	sources := g.readSources(inst, now)
+	k := g.spec.K
+	if len(sources) < k {
+		// More failures than parity: the stripe cannot be reconstructed
+		// right now. Serve the local chunk so the request terminates, and
+		// surface the loss in the counters (ec.ErrStripeUnrecoverable is
+		// the library-level twin of this path).
+		r.unrecoverableReads++
+		sources = sources[:1]
+	} else {
+		sources = sources[:k]
+	}
+
+	remaining := len(sources)
+	finish := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		r.eng.After(ecDecodeTime, func(sim.Time) { s.completeRead(inst, req) })
+	}
+	for _, src := range sources {
+		src := src
+		readChunk := func(sim.Time) {
+			addr, err := src.v.FTL.Read(stripe)
+			if err != nil {
+				// Chunk outside the preconditioned range still costs one
+				// device read on the source's first channel.
+				addr = flash.Addr{Channel: src.v.Channels()[0]}
+			}
+			src.server.dev.TimeRead(addr, func(_, _ sim.Time) {
+				if src == inst {
+					finish()
+					return
+				}
+				back := r.net.PathLatency(r.eng.Now(), 2)
+				r.eng.After(back, func(sim.Time) { finish() })
+			})
+		}
+		if src == inst {
+			readChunk(now)
+		} else {
+			r.eng.After(r.net.PathLatency(now, 2), readChunk)
+		}
+	}
+}
+
+// scheduleRepair arms the group's repair pump one monitor period out.
+func (r *Rack) scheduleRepair(g *ecGroup) {
+	if g.repairArmed {
+		return
+	}
+	g.repairArmed = true
+	r.eng.After(r.cfg.GCCheckInterval, func(sim.Time) { r.repairPump(g) })
+}
+
+// repairPump admits background chunk reconstruction only in the
+// switch-observed GC idle window: the repair coordinator reads the ToR's
+// per-member GC bits (the same state soft gc_ops consult) and backs off
+// while any member collects, so repair traffic never competes with a
+// foreground GC episode for the group's channels.
+func (r *Rack) repairPump(g *ecGroup) {
+	g.repairArmed = false
+	if g.repairInFlight || g.recon.Pending() == 0 {
+		return
+	}
+	for _, m := range g.insts {
+		if m.server.failed {
+			continue
+		}
+		if r.sw.GCStatus(m.id) {
+			g.recon.Delayed()
+			r.scheduleRepair(g)
+			return
+		}
+	}
+	task, ok := g.recon.Next()
+	if !ok {
+		return
+	}
+	g.repairInFlight = true
+	r.runRepairTask(g, task)
+}
+
+// runRepairTask rebuilds one batch of a lost holder's chunks: k chunk
+// reads spread over the survivors, the RS decode, and the programs that
+// land the rebuilt chunks on the adopting holder. Channel time is
+// charged in bulk per batch.
+func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
+	now := r.eng.Now()
+	adopter := g.adopter(task.Holder)
+	if adopter == nil {
+		// Every member is dead; nothing to rebuild onto.
+		g.repairInFlight = false
+		return
+	}
+	sources := []*instance{adopter}
+	for _, m := range g.insts {
+		if len(sources) == g.spec.K {
+			break
+		}
+		if m == adopter || m == g.insts[task.Holder] || m.server.failed {
+			continue
+		}
+		sources = append(sources, m)
+	}
+	if len(sources) < g.spec.K {
+		// Unrecoverable with the current survivors: drop the task; the
+		// unrecoverable-read counter already exposes the data loss.
+		g.repairInFlight = false
+		r.scheduleRepair(g)
+		return
+	}
+
+	var end sim.Time
+	readDur := sim.Time(task.Stripes) * r.cfg.Device.ReadPage
+	for _, src := range sources {
+		chs := src.v.Channels()
+		_, e := src.server.dev.OccupyChannel(chs[task.FirstStripe%len(chs)], readDur)
+		if e > end {
+			end = e
+		}
+	}
+	progDur := sim.Time(task.Stripes) * r.cfg.Device.ProgramPage
+	achs := adopter.v.Channels()
+	if _, e := adopter.server.dev.OccupyChannel(achs[task.FirstStripe%len(achs)], progDur); e > end {
+		end = e
+	}
+	end += sim.Time(task.Stripes)*ecDecodeTime + r.net.PathLatency(now, 2)
+	r.eng.At(end, func(sim.Time) {
+		g.recon.Done(task)
+		g.repairInFlight = false
+		r.scheduleRepair(g)
+	})
+}

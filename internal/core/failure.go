@@ -20,18 +20,48 @@ const missedHeartbeats = 3
 // declaring the request lost (it was in flight to a server that died).
 const clientTimeout = 100 * sim.Millisecond
 
-// scheduleFailure arms the configured server-failure injection.
+// failureConfigured reports whether any server crash is injected.
+func (r *Rack) failureConfigured() bool {
+	return r.cfg.FailServerIndex >= 0 || len(r.cfg.FailServers) > 0
+}
+
+// failTargets collects the distinct servers configured to crash.
+func (r *Rack) failTargets() []*server {
+	var out []*server
+	seen := make(map[int]bool)
+	add := func(idx int) {
+		if idx < 0 || idx >= len(r.servers) || seen[idx] {
+			return
+		}
+		seen[idx] = true
+		out = append(out, r.servers[idx])
+	}
+	add(r.cfg.FailServerIndex)
+	for _, idx := range r.cfg.FailServers {
+		add(idx)
+	}
+	return out
+}
+
+// scheduleFailure arms the configured server-failure injection. All
+// configured servers crash together at FailServerAt — the worst case for
+// an erasure-coded rack, which must then reconstruct reads from the k
+// surviving chunks of every stripe.
 func (r *Rack) scheduleFailure() {
-	if r.cfg.FailServerIndex < 0 || r.cfg.FailServerIndex >= len(r.servers) {
+	targets := r.failTargets()
+	if len(targets) == 0 {
 		return
 	}
-	srv := r.servers[r.cfg.FailServerIndex]
 	r.eng.At(r.cfg.FailServerAt, func(sim.Time) {
-		srv.failed = true
+		for _, srv := range targets {
+			srv.failed = true
+		}
 	})
 	// The heartbeat detector notices after three silent periods.
 	r.eng.At(r.cfg.FailServerAt+missedHeartbeats*HeartbeatInterval, func(sim.Time) {
-		r.onServerDetectedDead(srv)
+		for _, srv := range targets {
+			r.onServerDetectedDead(srv)
+		}
 	})
 }
 
@@ -68,11 +98,43 @@ func (r *Rack) onServerDetectedDead(dead *server) {
 			}
 		}
 	}
+	// Erasure-coded groups: every chunk holder on the dead server fails
+	// over to an adopting member (reads reconstruct degraded, writes
+	// land on the adopter), and the lost chunks are queued for
+	// background reconstruction in the switch's GC idle windows.
+	for _, g := range r.groups {
+		for i, inst := range g.insts {
+			if inst.server != dead {
+				continue
+			}
+			adopter := g.adopter(i)
+			if adopter == nil {
+				continue // whole group lost
+			}
+			hop := r.net.HopLatency(r.eng.Now())
+			deadID := inst.id
+			adopterID := adopter.id
+			r.eng.After(hop, func(sim.Time) {
+				r.sw.Failover(deadID, adopterID)
+			})
+			if r.controller != nil {
+				r.controller.inGC[deadID] = false
+			}
+			g.recon.EnqueueChunk(i, g.usedStripes, repairBatchStripes)
+			r.scheduleRepair(g)
+		}
+	}
 }
 
 // watchTimeout arms the client-side loss detector for one request.
+// Erasure-coded requests are retransmitted under a fresh sequence number
+// (stale responses find no state and are dropped): sub-operations in
+// flight to a server that crashed before the heartbeat detector
+// installed failover routes are swallowed, but by the retry the switch
+// steers around the dead holder, so every read eventually completes via
+// degraded reconstruction.
 func (r *Rack) watchTimeout(seq uint64) {
-	if r.cfg.FailServerIndex < 0 {
+	if !r.failureConfigured() {
 		return // no failure configured; avoid per-request timer overhead
 	}
 	r.eng.After(clientTimeout, func(sim.Time) {
@@ -81,7 +143,23 @@ func (r *Rack) watchTimeout(seq uint64) {
 			return // completed
 		}
 		delete(r.reqs, seq)
-		st.pair.inflight--
+		if st.group != nil && st.retries < maxECRetries {
+			st.retries++
+			r.ecRetransmits++
+			r.seq++
+			st.seq = r.seq
+			st.ecPending = 0
+			st.arrival, st.dispatched, st.deviceDone = 0, 0, 0
+			st.bounced, st.redirected = false, false
+			r.reqs[st.seq] = st
+			r.watchTimeout(st.seq)
+			r.sendEC(st)
+			return
+		}
+		st.decInflight()
 		r.lostRequests++
+		if !st.write {
+			r.lostReads++
+		}
 	})
 }

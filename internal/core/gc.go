@@ -7,21 +7,22 @@ import (
 )
 
 // startGCMonitors begins the periodic free-block checks of Algorithm 2 for
-// every instance. Iteration goes by pair order, not map order, so the RNG
-// draws — and therefore the whole simulation — stay deterministic.
+// every instance. Iteration goes by volume order, not map order, so the
+// RNG draws — and therefore the whole simulation — stay deterministic.
 func (r *Rack) startGCMonitors() {
-	for _, pr := range r.pairs {
-		for _, inst := range []*instance{pr.primary, pr.replica} {
-			inst := inst
-			// Stagger first checks so instances do not phase-lock.
-			offset := sim.Time(r.rng.Int63n(int64(r.cfg.GCCheckInterval) + 1))
-			r.eng.After(offset, func(sim.Time) { r.monitorGC(inst) })
-		}
+	for _, inst := range r.allInstances() {
+		inst := inst
+		// Stagger first checks so instances do not phase-lock.
+		offset := sim.Time(r.rng.Int63n(int64(r.cfg.GCCheckInterval) + 1))
+		r.eng.After(offset, func(sim.Time) { r.monitorGC(inst) })
 	}
 }
 
 // monitorGC is one periodic check (Algorithm 2, trigger_gc).
 func (r *Rack) monitorGC(inst *instance) {
+	if inst.server.failed {
+		return // crashed servers run nothing, including GC monitors
+	}
 	now := r.eng.Now()
 	if now < r.stopIssuing {
 		r.eng.After(r.cfg.GCCheckInterval, func(sim.Time) { r.monitorGC(inst) })
@@ -269,6 +270,16 @@ func newController(r *Rack) *controller {
 func (c *controller) register(pri, rep *instance) {
 	c.replicas[pri.id] = rep.id
 	c.replicas[rep.id] = pri.id
+}
+
+// registerGroup records an erasure-coded group: each member's "replica"
+// is the next member in group order. The software controller only
+// consults one peer's GC state — a weaker stagger than the switch's
+// whole-group check, one of the costs of the software design point.
+func (c *controller) registerGroup(g *ecGroup) {
+	for i, inst := range g.insts {
+		c.replicas[inst.id] = g.insts[(i+1)%len(g.insts)].id
+	}
 }
 
 // receive exists for symmetry with servers; controller traffic in this

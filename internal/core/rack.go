@@ -78,11 +78,14 @@ type pair struct {
 }
 
 // reqState tracks one request across the rack for latency breakdown.
+// Exactly one of pair and group is set: pair for replicated volumes,
+// group for erasure-coded ones.
 type reqState struct {
 	seq        uint64
 	write      bool
 	lpn        uint32
 	pair       *pair
+	group      *ecGroup
 	issue      sim.Time
 	arrival    sim.Time // at storage server
 	dispatched sim.Time
@@ -92,6 +95,24 @@ type reqState struct {
 	// vSSD started collecting after the switch had already forwarded it.
 	bounced bool
 	netIn   sim.Time
+
+	// Erasure-coded requests: userLPN is the client's logical page (lpn
+	// holds the chunk-local page, i.e. the stripe index), homeID the data
+	// chunk's holder, ecPending the outstanding fan-out sub-operations,
+	// and retries the client retransmission count after a timeout.
+	userLPN   uint32
+	homeID    uint32
+	ecPending int
+	retries   int
+}
+
+// decInflight releases the client-window slot of the owning volume.
+func (st *reqState) decInflight() {
+	if st.pair != nil {
+		st.pair.inflight--
+	} else if st.group != nil {
+		st.group.inflight--
+	}
 }
 
 // Rack is one end-to-end experiment instance.
@@ -102,6 +123,7 @@ type Rack struct {
 	sw      *switchsim.Switch
 	servers []*server
 	pairs   []*pair
+	groups  []*ecGroup
 	insts   map[uint32]*instance
 	rec     *stats.Recorder
 	reqs    map[uint64]*reqState
@@ -130,6 +152,13 @@ type Rack struct {
 	gcOpsSent     int64
 	gcOpRetries   int64
 	delayedByCtrl int64
+
+	// erasure-coding counters
+	degradedReads      int64
+	unrecoverableReads int64
+	ecSubWrites        int64
+	ecRetransmits      int64
+	lostReads          int64
 }
 
 // NewRack builds and preconditions a rack per the configuration.
@@ -171,20 +200,25 @@ func NewRack(cfg Config) (*Rack, error) {
 		r.controller = newController(r)
 	}
 
-	if err := r.buildPairs(); err != nil {
-		return nil, err
+	if cfg.Redundancy.Scheme == ErasureCoded {
+		if err := r.buildGroups(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := r.buildPairs(); err != nil {
+			return nil, err
+		}
 	}
 	r.precondition()
 	return r, nil
 }
 
-// buildPairs creates vSSD instances, registers them with the switch, and
-// wires Hermes replication between the two instances of each pair.
-func (r *Rack) buildPairs() error {
+// channelAllocator returns a per-server channel allocator; nextChannel
+// tracks allocation across all volumes built with the returned func.
+func (r *Rack) channelAllocator() func(*server) ([]int, error) {
 	cfg := r.cfg
-	// nextChannel tracks per-server channel allocation.
 	nextChannel := make([]int, len(r.servers))
-	alloc := func(srv *server) ([]int, error) {
+	return func(srv *server) ([]int, error) {
 		chs := make([]int, 0, cfg.ChannelsPerVSSD)
 		for j := 0; j < cfg.ChannelsPerVSSD; j++ {
 			if nextChannel[srv.index] >= cfg.Geometry.Channels {
@@ -195,6 +229,13 @@ func (r *Rack) buildPairs() error {
 		}
 		return chs, nil
 	}
+}
+
+// buildPairs creates vSSD instances, registers them with the switch, and
+// wires Hermes replication between the two instances of each pair.
+func (r *Rack) buildPairs() error {
+	cfg := r.cfg
+	alloc := r.channelAllocator()
 
 	for p := 0; p < cfg.VSSDPairs; p++ {
 		priSrv := r.servers[(2*p)%len(r.servers)]
@@ -342,12 +383,18 @@ func (r *Rack) hermesTransport(pri, rep *instance) replication.Transport {
 // newGenerator builds the pair's workload generator sized to the primary's
 // preconditioned key space.
 func (r *Rack) newGenerator(p int, pri *instance) workload.Generator {
+	keys := uint64(float64(pri.v.FTL.LogicalPages()) * r.cfg.KeyspaceFrac)
+	return r.makeGenerator(p, keys)
+}
+
+// makeGenerator builds one volume's workload generator over keys logical
+// pages.
+func (r *Rack) makeGenerator(volume int, keys uint64) workload.Generator {
 	cfg := r.cfg
-	keys := uint64(float64(pri.v.FTL.LogicalPages()) * cfg.KeyspaceFrac)
 	if keys < 64 {
 		keys = 64
 	}
-	rng := r.rng.Fork(int64(200 + p))
+	rng := r.rng.Fork(int64(200 + volume))
 	if cfg.Workload.Name == "" || cfg.Workload.Name == "YCSB" {
 		return workload.NewYCSB(rng, keys, cfg.Workload.WriteFrac, cfg.Workload.MeanGap)
 	}
@@ -358,45 +405,61 @@ func (r *Rack) newGenerator(p int, pri *instance) workload.Generator {
 	return gen
 }
 
+// allInstances returns every vSSD instance in deterministic volume order
+// (pairs, then erasure-coded groups).
+func (r *Rack) allInstances() []*instance {
+	out := make([]*instance, 0, 2*len(r.pairs))
+	for _, pr := range r.pairs {
+		out = append(out, pr.primary, pr.replica)
+	}
+	for _, g := range r.groups {
+		out = append(out, g.insts...)
+	}
+	return out
+}
+
 // precondition fills each instance's key space and fragments it until
 // roughly half the free blocks are consumed (§4.1), without charging
 // virtual time.
 func (r *Rack) precondition() {
-	for _, pr := range r.pairs {
-		for _, inst := range []*instance{pr.primary, pr.replica} {
-			ftls := []*ssd.FTL{inst.v.FTL}
-			if inst.peer != nil {
-				ftls = append(ftls, inst.peer.FTL)
+	for _, inst := range r.allInstances() {
+		ftls := []*ssd.FTL{inst.v.FTL}
+		if inst.peer != nil {
+			ftls = append(ftls, inst.peer.FTL)
+		}
+		for _, ftl := range ftls {
+			keys := int(float64(ftl.LogicalPages()) * r.cfg.KeyspaceFrac)
+			if keys < 64 {
+				keys = 64
 			}
-			for _, ftl := range ftls {
-				keys := int(float64(ftl.LogicalPages()) * r.cfg.KeyspaceFrac)
-				if keys < 64 {
-					keys = 64
+			for lpn := 0; lpn < keys; lpn++ {
+				if _, err := ftl.Write(lpn); err != nil {
+					ftl.CollectOnce()
+					lpn--
 				}
-				for lpn := 0; lpn < keys; lpn++ {
-					if _, err := ftl.Write(lpn); err != nil {
-						ftl.CollectOnce()
-						lpn--
-					}
-				}
-				// Fragment until just above the soft threshold so every
-				// system reaches its GC steady state within the compressed
-				// simulation horizon (the paper preconditions to 50% free and
-				// runs for minutes; this matches where that converges).
-				target := r.cfg.SoftThreshold + 0.06
-				z := sim.NewZipf(r.rng.Fork(int64(300+inst.id)), 0.99, uint64(keys))
-				for ftl.FreeRatio() > target {
-					if _, err := ftl.Write(int(z.Next())); err != nil {
-						break
-					}
+			}
+			// Fragment until just above the soft threshold so every
+			// system reaches its GC steady state within the compressed
+			// simulation horizon (the paper preconditions to 50% free and
+			// runs for minutes; this matches where that converges).
+			target := r.cfg.SoftThreshold + 0.06
+			z := sim.NewZipf(r.rng.Fork(int64(300+inst.id)), 0.99, uint64(keys))
+			for ftl.FreeRatio() > target {
+				if _, err := ftl.Write(int(z.Next())); err != nil {
+					break
 				}
 			}
 		}
 	}
 }
 
-// Keyspace returns the per-pair logical key count the workload touches.
+// Keyspace returns the per-volume logical key count the workload touches.
 func (r *Rack) Keyspace() int {
+	if len(r.groups) > 0 {
+		g := r.groups[0]
+		perChunk := int(float64(g.insts[0].v.FTL.LogicalPages()) * r.cfg.KeyspaceFrac)
+		return perChunk * g.spec.K
+	}
 	ftl := r.pairs[0].primary.v.FTL
 	return int(float64(ftl.LogicalPages()) * r.cfg.KeyspaceFrac)
 }

@@ -34,6 +34,20 @@ type Result struct {
 	StaleRetries int64
 	SWRedirects  int64
 
+	// Erasure-coding counters. DegradedReads counts reads served by
+	// reconstructing from k chunks instead of the home holder;
+	// ECSubWrites counts the fan-out sub-writes (1 data + m parity per
+	// logical write); RepairedStripes/RepairPending/RepairDelayed
+	// account the background reconstructor and its GC-idle-window gate.
+	DegradedReads      int64
+	UnrecoverableReads int64
+	ECSubWrites        int64
+	ECRetransmits      int64
+	LostReads          int64
+	RepairedStripes    int64
+	RepairPending      int64
+	RepairDelayed      int64
+
 	// WriteAmp is the mean write amplification across instances.
 	WriteAmp float64
 	// SimulatedTime is the virtual time the run covered.
@@ -61,32 +75,41 @@ func (r *Rack) Run() *Result {
 	r.eng.Run()
 
 	res := &Result{
-		System:        r.cfg.System,
-		Config:        r.cfg,
-		Recorder:      r.rec,
-		Switch:        r.sw.Stats(),
-		ForcedGCs:     r.forcedGCs,
-		GCOpsSent:     r.gcOpsSent,
-		GCOpRetries:   r.gcOpRetries,
-		DelayedByCtl:  r.delayedByCtrl,
-		Failovers:     r.failovers,
-		LostRequests:  r.lostRequests,
-		Bounces:       r.bounces,
-		CacheHits:     r.cacheHits,
-		StaleRetries:  r.staleRetries,
-		SWRedirects:   r.swRedirects,
-		SimulatedTime: r.eng.Now(),
-		Events:        r.eng.Processed(),
+		System:             r.cfg.System,
+		Config:             r.cfg,
+		Recorder:           r.rec,
+		Switch:             r.sw.Stats(),
+		ForcedGCs:          r.forcedGCs,
+		GCOpsSent:          r.gcOpsSent,
+		GCOpRetries:        r.gcOpRetries,
+		DelayedByCtl:       r.delayedByCtrl,
+		Failovers:          r.failovers,
+		LostRequests:       r.lostRequests,
+		Bounces:            r.bounces,
+		CacheHits:          r.cacheHits,
+		StaleRetries:       r.staleRetries,
+		SWRedirects:        r.swRedirects,
+		DegradedReads:      r.degradedReads,
+		UnrecoverableReads: r.unrecoverableReads,
+		ECSubWrites:        r.ecSubWrites,
+		ECRetransmits:      r.ecRetransmits,
+		LostReads:          r.lostReads,
+		SimulatedTime:      r.eng.Now(),
+		Events:             r.eng.Processed(),
 	}
+	for _, g := range r.groups {
+		res.RepairedStripes += int64(g.recon.RepairedStripes())
+		res.RepairPending += int64(g.recon.Pending())
+		res.RepairDelayed += int64(g.recon.DelayCount())
+	}
+	insts := r.allInstances()
 	var wa float64
-	for _, pr := range r.pairs {
-		for _, inst := range []*instance{pr.primary, pr.replica} {
-			res.GCEvents += inst.gcEvents
-			res.GCDelayed += inst.gcDelayed
-			res.BGGCEvents += inst.bgGCEvents
-			wa += inst.v.FTL.WriteAmplification()
-		}
+	for _, inst := range insts {
+		res.GCEvents += inst.gcEvents
+		res.GCDelayed += inst.gcDelayed
+		res.BGGCEvents += inst.bgGCEvents
+		wa += inst.v.FTL.WriteAmplification()
 	}
-	res.WriteAmp = wa / float64(2*len(r.pairs))
+	res.WriteAmp = wa / float64(len(insts))
 	return res
 }

@@ -40,9 +40,16 @@ func (s *server) receive(pkt packet.Packet) {
 		if st == nil {
 			return
 		}
-		st.arrival = now
-		st.netIn = now - st.issue
-		if pkt.VSSD != st.pair.primary.id {
+		// Erasure-coded fan-out sub-operations share one reqState: only
+		// the first arrival sets the breakdown anchors, so the recorded
+		// stages stay monotonic (arrival <= dispatch <= max deviceDone)
+		// and describe the fan-out envelope rather than mixing stages of
+		// different sub-operations.
+		if st.group == nil || st.arrival == 0 {
+			st.arrival = now
+			st.netIn = now - st.issue
+		}
+		if st.pair != nil && pkt.VSSD != st.pair.primary.id {
 			st.redirected = true
 		}
 		// Feed the predictor with the INT-measured inbound latency and
@@ -126,16 +133,38 @@ func (s *server) drainStalled(inst *instance) {
 	}
 }
 
+// cancelRead releases a read whose request state is gone (the client
+// timed it out, and for erasure coding retransmitted it under a fresh
+// sequence number): the scheduler token and inflight slot return, and
+// no response is sent for the dead attempt.
+func (s *server) cancelRead(inst *instance) {
+	inst.queue.OnComplete(false, 0)
+	inst.inflight--
+	s.pump(inst)
+}
+
 // startRead serves one read: DRAM hit, or flash read on the owning
 // channel. attempt counts Hermes-invalidation retries.
 func (s *server) startRead(inst *instance, req *sched.Request, attempt int) {
 	r := s.rack
 	now := r.eng.Now()
 	st := r.reqs[req.Seq]
+	if st == nil {
+		s.cancelRead(inst)
+		return
+	}
 	if st.dispatched == 0 {
 		st.dispatched = now
 	}
 	lpn := st.lpn
+
+	// An erasure-coded read landing away from its home chunk holder was
+	// steered here by the switch (home collecting or failed): this
+	// holder coordinates the degraded reconstruction from k chunks.
+	if st.group != nil && inst.id != st.homeID {
+		s.startDegradedRead(inst, req)
+		return
+	}
 
 	// The switch marks a collecting vSSD before replying to its gc_op,
 	// but reads already forwarded race that update. Rather than queue
@@ -155,7 +184,8 @@ func (s *server) startRead(inst *instance, req *sched.Request, attempt int) {
 
 	// A redirected read may land on a replica whose copy is still
 	// invalidated by an in-flight write; wait briefly for the commit.
-	if !inst.repl.CanRead(lpn) && attempt < 3 {
+	// Erasure-coded chunk holders (no Hermes node) always serve.
+	if inst.repl != nil && !inst.repl.CanRead(lpn) && attempt < 3 {
 		r.staleRetries++
 		r.eng.After(hermesRetryGap, func(sim.Time) { s.startRead(inst, req, attempt+1) })
 		return
@@ -188,6 +218,12 @@ func (s *server) completeRead(inst *instance, req *sched.Request) {
 	r := s.rack
 	now := r.eng.Now()
 	st := r.reqs[req.Seq]
+	if st == nil {
+		// Timed out and (for EC) retransmitted while the device worked;
+		// the flash time was spent, but nobody is waiting for the reply.
+		s.cancelRead(inst)
+		return
+	}
 	st.deviceDone = now
 	// Coordinated schedulers target end-to-end latency, so feed them the
 	// network components too — that is why their targets are raised by
@@ -208,6 +244,12 @@ func (s *server) startWrite(inst *instance, req *sched.Request) {
 	r := s.rack
 	now := r.eng.Now()
 	st := r.reqs[req.Seq]
+	if st == nil {
+		// Timed out (and for EC retransmitted) before dispatch: return
+		// the scheduler token and drop the dead attempt.
+		inst.queue.OnComplete(true, 0)
+		return
+	}
 	if st.dispatched == 0 {
 		st.dispatched = now
 	}
@@ -216,8 +258,35 @@ func (s *server) startWrite(inst *instance, req *sched.Request) {
 	// immediately. Kyber's write depth gates admission into the storage
 	// stack, not the replication round trip, which is network time.
 	inst.queue.OnComplete(true, 0)
+	// seq pins this attempt: an EC retransmission reissues the logical
+	// request under a fresh sequence number, so a stale attempt's
+	// completion must not respond against the new one.
+	seq := req.Seq
 	r.eng.After(cacheInsertTime, func(sim.Time) {
+		if r.reqs[seq] != st {
+			s.flushPump(inst)
+			s.pump(inst)
+			return // attempt superseded by a client retransmission
+		}
+		if inst.repl == nil {
+			// Erasure-coded chunk holder: durability comes from the
+			// stripe's parity chunks (the client fans the write out to
+			// all of them), so each sub-write commits locally.
+			done := r.eng.Now()
+			if done > st.deviceDone {
+				st.deviceDone = done
+			}
+			r.respond(st, inst)
+			s.flushPump(inst)
+			s.pump(inst)
+			return
+		}
 		inst.repl.Write(st.lpn, func() {
+			if r.reqs[seq] != st {
+				s.flushPump(inst)
+				s.pump(inst)
+				return
+			}
 			done := r.eng.Now()
 			st.deviceDone = done
 			r.respond(st, inst)

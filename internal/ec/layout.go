@@ -1,0 +1,70 @@
+package ec
+
+// Striper maps a volume's logical pages onto stripes of k data chunks and
+// assigns every chunk of a stripe to one of the k+m chunk holders. Parity
+// rotates with the stripe index (RAID-5 style) so no holder becomes a
+// dedicated parity device: each holder stores exactly one chunk of every
+// stripe, at local page number == stripe index.
+type Striper struct {
+	Spec Spec
+}
+
+// Stripe returns the stripe index and the data-chunk position within the
+// stripe for a logical page.
+func (s Striper) Stripe(lpn int) (stripe, pos int) {
+	return lpn / s.Spec.K, lpn % s.Spec.K
+}
+
+// LPN is the inverse of Stripe.
+func (s Striper) LPN(stripe, pos int) int { return stripe*s.Spec.K + pos }
+
+// DataHolder returns the holder index (into the stripe group's k+m
+// members) storing data chunk pos of a stripe.
+func (s Striper) DataHolder(stripe, pos int) int {
+	return (stripe + pos) % s.Spec.Width()
+}
+
+// ParityHolders returns the holder indices storing a stripe's m parity
+// chunks, in parity order.
+func (s Striper) ParityHolders(stripe int) []int {
+	out := make([]int, s.Spec.M)
+	for j := 0; j < s.Spec.M; j++ {
+		out[j] = (stripe + s.Spec.K + j) % s.Spec.Width()
+	}
+	return out
+}
+
+// Holders returns every holder index of a stripe in chunk order: the k
+// data chunks first, then the m parity chunks. The rotation keeps all
+// k+m distinct for any stripe.
+func (s Striper) Holders(stripe int) []int {
+	out := make([]int, 0, s.Spec.Width())
+	for p := 0; p < s.Spec.K; p++ {
+		out = append(out, s.DataHolder(stripe, p))
+	}
+	return append(out, s.ParityHolders(stripe)...)
+}
+
+// Placer assigns the k+m chunk holders of each stripe group to distinct
+// storage servers. Groups rotate their starting server so load spreads
+// across the rack; within one group no two holders ever share a server —
+// the invariant that makes any single-server failure cost at most one
+// chunk per stripe.
+type Placer struct {
+	// Servers is the rack's storage-server count.
+	Servers int
+	// Width is the chunk count per stripe, k+m.
+	Width int
+}
+
+// Place returns the server index hosting each of a group's Width chunk
+// holders. All returned servers are distinct (Width <= Servers is
+// enforced by Spec.Validate).
+func (p Placer) Place(group int) []int {
+	out := make([]int, p.Width)
+	start := (group * p.Width) % p.Servers
+	for i := 0; i < p.Width; i++ {
+		out[i] = (start + i) % p.Servers
+	}
+	return out
+}

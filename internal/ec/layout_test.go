@@ -1,0 +1,80 @@
+package ec
+
+import "testing"
+
+// TestPlacementProperty asserts the rack-aware invariant for every
+// (k, m, servers) combination the validator accepts in a bounded
+// envelope: no stripe of any group ever places two chunks on the same
+// server.
+func TestPlacementProperty(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		for m := 1; m <= 4; m++ {
+			for servers := 2; servers <= 12; servers++ {
+				spec := Spec{K: k, M: m}
+				if err := spec.Validate(servers); err != nil {
+					continue // validator rejects; nothing to place
+				}
+				placer := Placer{Servers: servers, Width: spec.Width()}
+				striper := Striper{Spec: spec}
+				for group := 0; group < 2*servers; group++ {
+					holderServer := placer.Place(group)
+					if len(holderServer) != spec.Width() {
+						t.Fatalf("RS(%d,%d)/%d servers: placement width %d",
+							k, m, servers, len(holderServer))
+					}
+					seen := make(map[int]bool)
+					for _, srv := range holderServer {
+						if srv < 0 || srv >= servers {
+							t.Fatalf("RS(%d,%d)/%d servers: server %d out of range", k, m, servers, srv)
+						}
+						if seen[srv] {
+							t.Fatalf("RS(%d,%d)/%d servers group %d: two holders share server %d",
+								k, m, servers, group, srv)
+						}
+						seen[srv] = true
+					}
+					// Per-stripe chunk->holder rotation must keep the k+m
+					// chunks of any stripe on distinct holders (and thus,
+					// by the above, on distinct servers).
+					for stripe := 0; stripe < 3*spec.Width(); stripe++ {
+						holders := striper.Holders(stripe)
+						seenH := make(map[int]bool)
+						for _, h := range holders {
+							if h < 0 || h >= spec.Width() {
+								t.Fatalf("RS(%d,%d) stripe %d: holder %d out of range", k, m, stripe, h)
+							}
+							if seenH[h] {
+								t.Fatalf("RS(%d,%d) stripe %d: holder %d gets two chunks", k, m, stripe, h)
+							}
+							seenH[h] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStriperRoundTrip checks the lpn <-> (stripe, pos) bijection and the
+// data-holder rotation.
+func TestStriperRoundTrip(t *testing.T) {
+	s := Striper{Spec: Spec{K: 4, M: 2}}
+	for lpn := 0; lpn < 1000; lpn++ {
+		stripe, pos := s.Stripe(lpn)
+		if got := s.LPN(stripe, pos); got != lpn {
+			t.Fatalf("round trip %d -> (%d,%d) -> %d", lpn, stripe, pos, got)
+		}
+		h := s.DataHolder(stripe, pos)
+		if h < 0 || h >= s.Spec.Width() {
+			t.Fatalf("lpn %d: holder %d out of range", lpn, h)
+		}
+	}
+	// Rotation spreads each data position over all holders.
+	seen := make(map[int]bool)
+	for stripe := 0; stripe < s.Spec.Width(); stripe++ {
+		seen[s.DataHolder(stripe, 0)] = true
+	}
+	if len(seen) != s.Spec.Width() {
+		t.Fatalf("position 0 visits %d holders, want %d", len(seen), s.Spec.Width())
+	}
+}

@@ -1,0 +1,71 @@
+package ec
+
+// RepairTask is one unit of background reconstruction: rebuild the lost
+// chunks of a contiguous batch of stripes onto their adopting holder.
+// Batching keeps the repair queue (and the simulator's event count)
+// proportional to lost capacity, not to individual pages.
+type RepairTask struct {
+	// Holder is the group-local index of the lost chunk holder.
+	Holder int
+	// FirstStripe and Stripes delimit the batch.
+	FirstStripe int
+	Stripes     int
+}
+
+// Reconstructor queues and accounts chunk-repair work for one stripe
+// group. It is deliberately passive: the rack decides *when* a task may
+// run (only in switch-observed GC idle windows, the same gate soft-GC
+// requests pass) and calls Next to claim work; the reconstructor only
+// tracks what remains.
+type Reconstructor struct {
+	pending  []RepairTask
+	repaired int
+	delayed  int
+}
+
+// NewReconstructor returns an empty repair queue.
+func NewReconstructor() *Reconstructor { return &Reconstructor{} }
+
+// Enqueue adds one repair task.
+func (r *Reconstructor) Enqueue(t RepairTask) { r.pending = append(r.pending, t) }
+
+// EnqueueChunk splits the repair of one lost holder's chunks over
+// [0, stripes) into batch-sized tasks.
+func (r *Reconstructor) EnqueueChunk(holder, stripes, batch int) {
+	if batch < 1 {
+		batch = 1
+	}
+	for first := 0; first < stripes; first += batch {
+		n := batch
+		if first+n > stripes {
+			n = stripes - first
+		}
+		r.Enqueue(RepairTask{Holder: holder, FirstStripe: first, Stripes: n})
+	}
+}
+
+// Next claims the oldest pending task; ok is false when the queue is
+// drained.
+func (r *Reconstructor) Next() (t RepairTask, ok bool) {
+	if len(r.pending) == 0 {
+		return RepairTask{}, false
+	}
+	t = r.pending[0]
+	r.pending = r.pending[1:]
+	return t, true
+}
+
+// Done records a completed task's stripes.
+func (r *Reconstructor) Done(t RepairTask) { r.repaired += t.Stripes }
+
+// Delayed records one admission attempt pushed back by a busy GC window.
+func (r *Reconstructor) Delayed() { r.delayed++ }
+
+// Pending returns the queued task count.
+func (r *Reconstructor) Pending() int { return len(r.pending) }
+
+// RepairedStripes returns how many stripes have been rebuilt.
+func (r *Reconstructor) RepairedStripes() int { return r.repaired }
+
+// DelayCount returns how many admissions the GC gate pushed back.
+func (r *Reconstructor) DelayCount() int { return r.delayed }

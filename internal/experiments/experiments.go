@@ -632,12 +632,97 @@ func GCAblation(scale Scale) *Table {
 	return t
 }
 
+// FigEC compares the two redundancy backends — 2-way Hermes replication
+// and RS(4,2) erasure coding — on an identical six-server rack, opening
+// the replication-vs-EC experiment axis beyond the paper: read tails
+// (degraded reads reconstruct around collectors and failures), the
+// redundancy write cost (2x replicated sub-writes vs 1+m chunk
+// sub-writes), and behavior under a GC storm and under m server crashes.
+func FigEC(scale Scale) *Table {
+	t := &Table{ID: "FigEC", Title: "Replication vs RS(4,2): read tail, write cost, degraded reads",
+		Cols: []string{"p99_ms", "p999_ms", "kiops", "write_amp", "degraded", "lost_reads"}}
+	type scenario struct {
+		name     string
+		workload core.WorkloadSpec
+		failTwo  bool
+	}
+	base := core.DefaultConfig()
+	scenarios := []scenario{
+		{"YCSB 50/50", core.WorkloadSpec{Name: "YCSB", WriteFrac: 0.5, MeanGap: base.Workload.MeanGap}, false},
+		{"GC storm (Twitter)", core.WorkloadSpec{Name: "Twitter", MeanGap: base.Workload.MeanGap}, false},
+		{"YCSB + 2 crashes", core.WorkloadSpec{Name: "YCSB", WriteFrac: 0.5, MeanGap: base.Workload.MeanGap}, true},
+	}
+	specs := []core.RedundancySpec{core.Replication(), core.ErasureCode(4, 2)}
+	for _, sc := range scenarios {
+		for _, red := range specs {
+			cfg := baseConfig(scale)
+			cfg.System = core.RackBlox
+			cfg.StorageServers = 6 // RS(4,2) spreads each stripe over six servers
+			cfg.Redundancy = red
+			cfg.Workload = sc.workload
+			if sc.failTwo {
+				cfg.FailServerIndex = 0
+				cfg.FailServers = []int{1}
+				cfg.FailServerAt = cfg.Warmup + cfg.Duration/4
+			}
+			res, err := core.Run(cfg)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %v", err))
+			}
+			reads := res.Recorder.Reads()
+			t.Rows = append(t.Rows, Row{Series: red.String(), X: sc.name,
+				Values: map[string]float64{
+					"p99_ms":     ms(reads.P99()),
+					"p999_ms":    ms(reads.P999()),
+					"kiops":      res.Recorder.Throughput() / 1000,
+					"write_amp":  res.WriteAmp,
+					"degraded":   float64(res.DegradedReads),
+					"lost_reads": float64(res.LostReads),
+				}})
+		}
+	}
+	return t
+}
+
+// RedundancySummary runs one YCSB 50/50 benchmark with the chosen
+// redundancy backend on a six-server rack and tabulates the headline
+// metrics (cmd/rackbench's -redundancy flag).
+func RedundancySummary(spec core.RedundancySpec, scale Scale) (*Table, error) {
+	cfg := baseConfig(scale)
+	cfg.StorageServers = 6
+	cfg.Redundancy = spec
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reads, writes := res.Recorder.Reads(), res.Recorder.Writes()
+	t := &Table{
+		ID:    "Redundancy",
+		Title: fmt.Sprintf("YCSB 50/50 with %s", spec),
+		Cols:  []string{"p99_ms", "p999_ms", "kiops", "write_amp", "degraded"},
+	}
+	t.Rows = append(t.Rows,
+		Row{Series: spec.String(), X: "reads", Values: map[string]float64{
+			"p99_ms": ms(reads.P99()), "p999_ms": ms(reads.P999()),
+		}},
+		Row{Series: spec.String(), X: "writes", Values: map[string]float64{
+			"p99_ms": ms(writes.P99()), "p999_ms": ms(writes.P999()),
+		}},
+		Row{Series: spec.String(), X: "volume", Values: map[string]float64{
+			"kiops":     res.Recorder.Throughput() / 1000,
+			"write_amp": res.WriteAmp,
+			"degraded":  float64(res.DegradedReads),
+		}},
+	)
+	return t, nil
+}
+
 // All returns every experiment id in order.
 func All() []string {
 	return []string{
 		"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-		"fig22", "fig23", "predictor", "gcablation",
+		"fig22", "fig23", "predictor", "gcablation", "figec",
 	}
 }
 
@@ -680,6 +765,8 @@ func ByID(id string, scale Scale) ([]*Table, error) {
 		return []*Table{PredictorAccuracy()}, nil
 	case "gcablation":
 		return []*Table{GCAblation(scale)}, nil
+	case "figec":
+		return []*Table{FigEC(scale)}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }

@@ -183,3 +183,32 @@ func TestGCAblation(t *testing.T) {
 		}
 	}
 }
+
+func TestFigECComparesBackends(t *testing.T) {
+	tb := FigEC(tiny)
+	if len(tb.Rows) != 6 { // 3 scenarios x 2 redundancy schemes
+		t.Fatalf("rows = %d, want 6", len(tb.Rows))
+	}
+	for _, series := range []string{"2-replication", "RS(4,2)"} {
+		for _, x := range []string{"YCSB 50/50", "GC storm (Twitter)", "YCSB + 2 crashes"} {
+			r, ok := findRow(tb, series, x)
+			if !ok {
+				t.Fatalf("missing row %s / %s", series, x)
+			}
+			if r.Values["p999_ms"] <= 0 || r.Values["kiops"] <= 0 {
+				t.Errorf("%s / %s: empty metrics %+v", series, x, r.Values)
+			}
+		}
+	}
+	// The crash scenario must show EC serving reads degraded, losing none.
+	r, _ := findRow(tb, "RS(4,2)", "YCSB + 2 crashes")
+	if r.Values["degraded"] <= 0 {
+		t.Errorf("EC crash scenario recorded no degraded reads: %+v", r.Values)
+	}
+	if r.Values["lost_reads"] != 0 {
+		t.Errorf("EC crash scenario lost %v reads", r.Values["lost_reads"])
+	}
+	if _, err := ByID("figec", tiny); err != nil {
+		t.Fatalf("ByID(figec): %v", err)
+	}
+}

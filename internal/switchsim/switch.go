@@ -40,6 +40,9 @@ type Stats struct {
 	GCFinished     int64
 	Recirculations int64
 	Dropped        int64
+	// DegradedRedirects counts reads routed away from a collecting or
+	// failed erasure-coded chunk holder to a surviving group member.
+	DegradedRedirects int64
 }
 
 // Switch is the programmable ToR switch.
@@ -50,9 +53,14 @@ type Switch struct {
 	// failover maps a dead vSSD id to its surviving replica: reads AND
 	// writes are rewritten until the instance is re-replicated (§3.7).
 	failover map[uint32]uint32
-	qdisc    Qdisc
-	forward  Forwarder
-	stats    Stats
+	// stripe maps an erasure-coded chunk holder to its full stripe group
+	// (k data + m parity holders, in group order). Reads for a collecting
+	// or failed member are routed to a surviving member, which coordinates
+	// the degraded reconstruction itself.
+	stripe  map[uint32][]uint32
+	qdisc   Qdisc
+	forward Forwarder
+	stats   Stats
 
 	// PipelineLatency is the per-packet match-action latency (Tofino-class
 	// switches process in under a microsecond).
@@ -77,6 +85,7 @@ func New(eng *sim.Engine, q Qdisc, fwd Forwarder) *Switch {
 		replica:            make(map[uint32]*replicaEntry),
 		dest:               make(map[uint32]*destEntry),
 		failover:           make(map[uint32]uint32),
+		stripe:             make(map[uint32][]uint32),
 		qdisc:              q,
 		forward:            fwd,
 		PipelineLatency:    800 * sim.Nanosecond,
@@ -129,6 +138,58 @@ func (s *Switch) DestIP(vssd uint32) (uint32, bool) {
 		return e.ip, true
 	}
 	return 0, false
+}
+
+// RegisterStripe records an erasure-coded stripe group (control plane,
+// like Failover): every member's reads become eligible for degraded
+// routing to the surviving members. Members must already be registered
+// in the destination table via create_vssd.
+func (s *Switch) RegisterStripe(group []uint32) {
+	g := append([]uint32(nil), group...)
+	for _, id := range g {
+		s.stripe[id] = g
+	}
+}
+
+// StripeGroup returns the registered group of a chunk holder.
+func (s *Switch) StripeGroup(vssd uint32) ([]uint32, bool) {
+	g, ok := s.stripe[vssd]
+	return g, ok
+}
+
+// chunkHealthy reports whether a chunk holder can serve reads now: it
+// must be registered, not failed over, and not collecting garbage.
+func (s *Switch) chunkHealthy(id uint32) bool {
+	if _, dead := s.failover[id]; dead {
+		return false
+	}
+	de, ok := s.dest[id]
+	return ok && !de.gc
+}
+
+// routeECRead steers a read for an erasure-coded chunk holder: healthy
+// targets keep their traffic, otherwise the read goes to a surviving
+// group member (scan offset rotates with the LPN so degraded traffic
+// spreads over the group), which reconstructs from any k chunks. If no
+// member is healthy the failover table gets the last word.
+func (s *Switch) routeECRead(pkt *packet.Packet, group []uint32) {
+	if s.chunkHealthy(pkt.VSSD) {
+		return
+	}
+	n := len(group)
+	start := int(pkt.LPN) % n
+	for i := 0; i < n; i++ {
+		id := group[(start+i)%n]
+		if id == pkt.VSSD || !s.chunkHealthy(id) {
+			continue
+		}
+		pkt.VSSD = id
+		pkt.DstIP = s.dest[id].ip
+		s.stats.Redirected++
+		s.stats.DegradedRedirects++
+		return
+	}
+	s.applyFailover(pkt)
 }
 
 // Process handles one packet arriving at the switch at the current virtual
@@ -187,8 +248,16 @@ func (s *Switch) handleCreate(pkt packet.Packet) {
 }
 
 // handleRead implements Algorithm 1 lines 4-9: redirect a read away from a
-// collecting vSSD when its replica is idle.
+// collecting vSSD when its replica is idle. Erasure-coded chunk holders
+// take the stripe-routing path instead: their "replica" is the whole
+// surviving group.
 func (s *Switch) handleRead(pkt packet.Packet, dwell sim.Time) {
+	if group, ok := s.stripe[pkt.VSSD]; ok {
+		s.routeECRead(&pkt, group)
+		pkt.AddLatency(dwell)
+		s.emit(pkt)
+		return
+	}
 	s.applyFailover(&pkt)
 	re, ok := s.replica[pkt.VSSD]
 	if ok && re.gc {
@@ -220,7 +289,25 @@ func (s *Switch) handleGC(pkt packet.Packet, dwell sim.Time) {
 		s.stats.Recirculations++
 		dwell += s.RecirculateLatency
 		replicaBusy := false
-		if rd, ok2 := s.dest[re.replica]; ok2 && rd.gc {
+		if group, ecOK := s.stripe[pkt.VSSD]; ecOK {
+			// Rack-aware staggering: a chunk holder may soft-collect only
+			// while no other member of its stripe group does, so degraded
+			// reads always find k survivors. Failed-over members are
+			// skipped — a ghost GC bit left by a crashed holder must not
+			// block the survivors' soft GC forever.
+			for _, id := range group {
+				if id == pkt.VSSD {
+					continue
+				}
+				if _, dead := s.failover[id]; dead {
+					continue
+				}
+				if rd, ok2 := s.dest[id]; ok2 && rd.gc {
+					replicaBusy = true
+					break
+				}
+			}
+		} else if rd, ok2 := s.dest[re.replica]; ok2 && rd.gc {
 			replicaBusy = true
 		}
 		if replicaBusy {
@@ -267,8 +354,13 @@ func (s *Switch) handleGC(pkt packet.Packet, dwell sim.Time) {
 // and updates their switches").
 func (s *Switch) Failover(vssd, survivor uint32) {
 	s.failover[vssd] = survivor
+	// Clear both tables' GC bits: the dead vSSD will never send the
+	// gc_op finish that would otherwise release them.
 	if e, ok := s.replica[vssd]; ok {
 		e.gc = false
+	}
+	if d, ok := s.dest[vssd]; ok {
+		d.gc = false
 	}
 }
 

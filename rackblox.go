@@ -16,6 +16,17 @@
 //   - rack-scale wear leveling: a two-level balancer equalizes SSD wear
 //     inside each server and across the rack.
 //
+// Beyond the paper, the rack supports two redundancy backends selected
+// by Config.Redundancy: the paper's 2-way Hermes replication
+// (RedundancyReplication, the default) and rack-aware RS(k,m) erasure
+// coding (RedundancyEC). Under erasure coding every volume is striped
+// over k data + m parity chunk holders on distinct servers; the ToR
+// switch steers reads for a collecting or failed chunk holder to a
+// survivor, which reconstructs from any k chunks (a degraded read), and
+// a background reconstructor repairs lost chunks only in switch-observed
+// GC idle windows. The replication-vs-EC comparison is Experiment
+// ("figec", ...), and the RS codec itself is exported as ECCodec.
+//
 // Quick start:
 //
 //	cfg := rackblox.DefaultConfig()
@@ -32,6 +43,7 @@ package rackblox
 
 import (
 	"rackblox/internal/core"
+	"rackblox/internal/ec"
 	"rackblox/internal/experiments"
 	"rackblox/internal/flash"
 	"rackblox/internal/netsim"
@@ -84,6 +96,28 @@ func Systems() []System { return core.Systems() }
 // Run executes one configured experiment end to end and returns its
 // latency distributions and event counters.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RedundancySpec selects the rack's redundancy backend (Config.Redundancy).
+type RedundancySpec = core.RedundancySpec
+
+// RedundancyReplication is the paper's 2-way Hermes replication (default).
+func RedundancyReplication() RedundancySpec { return core.Replication() }
+
+// RedundancyEC stripes every volume RS(k,m) over k+m servers: reads of a
+// failed or collecting chunk holder reconstruct from any k survivors.
+func RedundancyEC(k, m int) RedundancySpec { return core.ErasureCode(k, m) }
+
+// ECSpec is the RS(k,m) parameterization of the erasure-coding subsystem.
+type ECSpec = ec.Spec
+
+// ECCodec encodes and reconstructs RS(k,m) stripes over GF(2^8).
+type ECCodec = ec.Codec
+
+// NewECCodec builds a systematic RS codec for the spec.
+func NewECCodec(spec ECSpec) (*ECCodec, error) { return ec.NewCodec(spec) }
+
+// ErrStripeUnrecoverable reports more than m erasures in one stripe.
+var ErrStripeUnrecoverable = ec.ErrStripeUnrecoverable
 
 // Device profiles of §4.5.3, fastest to slowest.
 func DeviceOptane() flash.Profile  { return flash.ProfileOptane() }

@@ -81,3 +81,50 @@ func TestWearFacade(t *testing.T) {
 		t.Fatal("imbalance below 1")
 	}
 }
+
+// TestPublicECRun is the acceptance scenario via the public API:
+// rackblox.Run with ErasureCode{K:4, M:2} completes YCSB end to end,
+// and with m servers failed mid-run every read still succeeds through
+// degraded reconstruction.
+func TestPublicECRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StorageServers = 6
+	cfg.Redundancy = RedundancyEC(4, 2)
+	cfg.Duration = 400 * time.Millisecond.Nanoseconds()
+	cfg.FailServerIndex = 0
+	cfg.FailServers = []int{1}
+	cfg.FailServerAt = cfg.Warmup + 100*time.Millisecond.Nanoseconds()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorder.Len() == 0 {
+		t.Fatal("no samples")
+	}
+	if res.DegradedReads == 0 {
+		t.Fatal("no degraded reads with two dead chunk holders")
+	}
+	if res.LostReads != 0 {
+		t.Fatalf("%d reads lost; reconstruction must serve them all", res.LostReads)
+	}
+}
+
+// TestECCodecExported round-trips the exported codec.
+func TestECCodecExported(t *testing.T) {
+	codec, err := NewECCodec(ECSpec{K: 2, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]byte{{1, 2, 3}, {4, 5, 6}}
+	parity, err := codec.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{nil, data[1], parity[0]}
+	if err := codec.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if shards[0][0] != 1 || shards[0][2] != 3 {
+		t.Fatalf("reconstructed %v", shards[0])
+	}
+}

@@ -8,12 +8,16 @@
 //	rackbench -exp all -scale 1.0
 //	rackbench -redundancy rs4,2 -scale 0.5
 //	rackbench -exp figec -json auto
+//	rackbench -exp figmr -racks 4 -crossbw 100 -json auto
 //
 // Scale < 1 shrinks the measured window proportionally (useful for quick
 // looks); 1.0 reproduces the full-length runs recorded in EXPERIMENTS.md.
 //
 // -redundancy runs a single YCSB 50/50 summary with the chosen backend
 // ("replication" or "rsK,M", e.g. rs4,2) instead of a paper experiment.
+// -racks and -crossbw tune the cluster-shaped experiments (figmr): the
+// rack fault-domain count and the spine bandwidth in MB/s the cross-rack
+// repair traffic is metered on.
 // -json FILE writes every produced table as machine-readable JSON
 // ("auto" derives a BENCH_<exp>.json name), so successive runs can be
 // diffed to track the performance trajectory.
@@ -46,8 +50,11 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		redundancy = flag.String("redundancy", "", "run one YCSB summary with this backend: 'replication' or 'rsK,M' (e.g. rs4,2)")
 		jsonOut    = flag.String("json", "", "write results as JSON to this file ('auto' derives BENCH_<exp>.json)")
+		racks      = flag.Int("racks", 0, "rack fault-domain count for cluster experiments like figmr (0 = experiment default; figmr needs >= 3 for spread RS(4,2) and raises smaller values)")
+		crossbw    = flag.Float64("crossbw", 0, "cross-rack spine bandwidth in MB/s for cluster experiments (0 = experiment default)")
 	)
 	flag.Parse()
+	opt := experiments.Options{Racks: *racks, CrossBWMBps: *crossbw}
 
 	if *list {
 		fmt.Println("experiments:")
@@ -80,7 +87,7 @@ func main() {
 		}
 		for _, id := range ids {
 			start := time.Now()
-			ts, err := experiments.ByID(strings.TrimSpace(id), experiments.Scale(*scale))
+			ts, err := experiments.ByIDWith(strings.TrimSpace(id), experiments.Scale(*scale), opt)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "rackbench:", err)
 				os.Exit(1)

@@ -4,6 +4,7 @@ import (
 	"rackblox/internal/packet"
 	"rackblox/internal/sim"
 	"rackblox/internal/stats"
+	"rackblox/internal/switchsim"
 )
 
 // startClients schedules the first request of every pair. Each pair's
@@ -94,35 +95,71 @@ func (r *Rack) issue(pr *pair) {
 	}
 
 	// Client -> ToR hop; INT accumulates the measured latency.
-	hop := r.net.HopLatency(now)
-	pkt.AddLatency(hop)
-	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+	r.clientSend(pkt, r.clientTorForPair(pr))
 }
 
-// forwardFromSwitch delivers a switch-forwarded packet to its destination
-// over the ToR -> host hop.
-func (r *Rack) forwardFromSwitch(pkt packet.Packet) {
-	hop := r.net.HopLatency(r.eng.Now())
+// clientTorForPair picks the ToR a pair's client traffic enters: the
+// primary's rack, or — once a ToR failure is detected — the replica's,
+// whose failover table rewrites the isolated primary's traffic.
+func (r *Rack) clientTorForPair(pr *pair) *switchsim.Switch {
+	tor := r.torOf(pr.primary.server)
+	if r.cluster.torDetected[pr.primary.server.rackIdx] {
+		if rep := r.torOf(pr.replica.server); !rep.Down() {
+			return rep
+		}
+	}
+	return tor
+}
+
+// clientSend ships a client packet into a ToR: one edge hop, plus the
+// spine crossing when the ToR is not in the client's rack (rack 0).
+func (r *Rack) clientSend(pkt packet.Packet, tor *switchsim.Switch) {
+	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.crossLatency(0, tor.RackID())
+	pkt.AddLatency(hop)
+	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
+}
+
+// forwarderFor builds the delivery path out of one rack's ToR: packets
+// to destinations in other racks cross the spine (added latency) and are
+// lost if the destination rack's own ToR is down — a dark rack is
+// unreachable even when its servers still run.
+func (r *Rack) forwarderFor(torRack int) switchsim.Forwarder {
+	return func(pkt packet.Packet) { r.deliverFromTor(torRack, pkt) }
+}
+
+func (r *Rack) deliverFromTor(torRack int, pkt packet.Packet) {
+	// Resolve the destination up front: the spine latency depends on it.
+	var dstSrv *server
+	dstRack := 0 // the client and the controller home next to rack 0
+	for _, s := range r.servers {
+		if s.ip == pkt.DstIP {
+			dstSrv = s
+			dstRack = s.rackIdx
+			break
+		}
+	}
+	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.crossLatency(torRack, dstRack)
 	pkt.AddLatency(hop)
 	r.eng.After(hop, func(sim.Time) {
 		if pkt.DstIP == r.clientIP {
 			r.clientReceive(pkt)
 			return
 		}
-		for _, s := range r.servers {
-			if s.ip == pkt.DstIP {
-				// RackBlox (Software) redirection happens here, at the
-				// server boundary rather than in the switch.
-				if pkt.Op == packet.OpRead && r.cfg.System == RackBloxSoftware {
-					if fwd, ok := r.softwareRedirect(s, pkt); ok {
-						r.swRedirects++
-						_ = fwd
-						return
-					}
-				}
-				s.receive(pkt)
-				return
+		if dstSrv != nil {
+			if dstRack != torRack && r.cluster.torFailed[dstRack] {
+				return // cross-rack delivery dead-ends at the failed ToR
 			}
+			// RackBlox (Software) redirection happens here, at the
+			// server boundary rather than in the switch.
+			if pkt.Op == packet.OpRead && r.cfg.System == RackBloxSoftware {
+				if fwd, ok := r.softwareRedirect(dstSrv, pkt); ok {
+					r.swRedirects++
+					_ = fwd
+					return
+				}
+			}
+			dstSrv.receive(pkt)
+			return
 		}
 		if r.controller != nil && pkt.DstIP == r.controller.ip {
 			r.controller.receive(pkt)
@@ -186,7 +223,8 @@ func (r *Rack) bounceRead(inst *instance, st *reqState) {
 	}
 	hop := r.net.HopLatency(r.eng.Now())
 	pkt.AddLatency(hop)
-	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+	tor := r.torOf(inst.server)
+	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
 }
 
 // respond sends the completion back to the client through the switch.
@@ -202,7 +240,8 @@ func (r *Rack) respond(st *reqState, inst *instance) {
 	}
 	hop := r.net.HopLatency(r.eng.Now())
 	pkt.AddLatency(hop)
-	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+	tor := r.torOf(inst.server)
+	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
 }
 
 // clientReceive records the completed request. Erasure-coded writes fan

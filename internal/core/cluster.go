@@ -1,0 +1,147 @@
+package core
+
+import (
+	"rackblox/internal/packet"
+	"rackblox/internal/sim"
+	"rackblox/internal/switchsim"
+)
+
+// Cluster is the multi-rack topology layer: it composes the experiment's
+// rack fault domains under a simulated spine/aggregation link with finite
+// bandwidth and added latency. Each rack gets its own ToR switch; stripe
+// traffic that cannot be served rack-locally is handed between ToRs over
+// the spine, and bulk repair traffic (degraded-read chunk fetches,
+// background reconstruction) is metered on the shared link. With one rack
+// the cluster degenerates to the paper's testbed: a single ToR, no spine.
+type Cluster struct {
+	rack           *Rack
+	racks          int
+	serversPerRack int
+	tors           []*switchsim.Switch
+	spine          *sim.Bandwidth // nil with one rack
+	spineLatency   sim.Time
+
+	// ToR failure injection: torFailed flips at the configured instant,
+	// torDetected when the heartbeat detector notices and the surviving
+	// ToRs take over.
+	torFailed   []bool
+	torDetected []bool
+
+	// Cross-rack repair accounting: chunk bytes moved over the spine for
+	// degraded reads and background reconstruction.
+	crossRepairBytes int64
+	crossFetches     int64
+}
+
+// newCluster wires the topology for r: per-rack ToR switches sharing the
+// rack's forwarding fabric, and the spine link when racks > 1.
+func newCluster(r *Rack) *Cluster {
+	cfg := r.cfg
+	c := &Cluster{
+		rack:           r,
+		racks:          cfg.racks(),
+		serversPerRack: cfg.StorageServers,
+		spineLatency:   cfg.CrossRackLatency,
+	}
+	c.tors = make([]*switchsim.Switch, c.racks)
+	c.torFailed = make([]bool, c.racks)
+	c.torDetected = make([]bool, c.racks)
+	if c.racks > 1 {
+		c.spine = sim.NewBandwidth(r.eng, cfg.CrossRackMBps*1e6)
+	}
+	for j := 0; j < c.racks; j++ {
+		j := j
+		tor := switchsim.New(r.eng, switchsim.QdiscByName(cfg.defaultQdisc()), r.forwarderFor(j))
+		tor.ConfigureRack(j, func(pkt packet.Packet, rack int) { c.handoff(pkt, rack) })
+		if cfg.GCReplyDropRate > 0 {
+			tor.SetDropRate(cfg.GCReplyDropRate, r.rng.Fork(int64(101+10*j)))
+		}
+		c.tors[j] = tor
+	}
+	return c
+}
+
+// Racks returns the fault-domain count.
+func (c *Cluster) Racks() int { return c.racks }
+
+// RackOf maps a global server index to its rack.
+func (c *Cluster) RackOf(server int) int { return server / c.serversPerRack }
+
+// Tor returns one rack's ToR switch.
+func (c *Cluster) Tor(rack int) *switchsim.Switch { return c.tors[rack] }
+
+// TorDown reports whether a rack's ToR has failed (isolating the rack).
+func (c *Cluster) TorDown(rack int) bool { return c.torFailed[rack] }
+
+// CrossRepairBytes returns the chunk bytes repair traffic moved over the
+// spine so far.
+func (c *Cluster) CrossRepairBytes() int64 { return c.crossRepairBytes }
+
+// SpineUtilization returns the cross-rack link's busy fraction (0 with a
+// single rack).
+func (c *Cluster) SpineUtilization() float64 {
+	if c.spine == nil {
+		return 0
+	}
+	return c.spine.Utilization()
+}
+
+// crossLatency is the added one-way latency between two racks (0 within
+// one rack).
+func (c *Cluster) crossLatency(a, b int) sim.Time {
+	if a == b {
+		return 0
+	}
+	return c.spineLatency
+}
+
+// handoff carries a stripe read from one ToR to another over the spine.
+// A failed destination ToR drops it there, like any packet it processes.
+func (c *Cluster) handoff(pkt packet.Packet, rack int) {
+	delay := c.spineLatency
+	pkt.AddLatency(delay)
+	c.rack.eng.After(delay, func(sim.Time) { c.tors[rack].Process(pkt) })
+}
+
+// crossFetch ships one repair payload (bytes of chunk data) over the
+// metered spine link, returning the transfer window and calling done
+// (may be nil) once the last byte has cleared the link. It is the single
+// accounting point for cross-rack repair traffic; transfers serialize on
+// the link, so aggregate repair throughput can never exceed the
+// configured cross-rack bandwidth.
+func (c *Cluster) crossFetch(bytes int64, done func(sim.Time)) (start, end sim.Time) {
+	c.crossRepairBytes += bytes
+	c.crossFetches++
+	var cb func(sim.Time, sim.Time)
+	if done != nil {
+		cb = func(_, e sim.Time) { done(e) }
+	}
+	return c.spine.Transfer(bytes, cb)
+}
+
+// failToR takes one rack's ToR down at the injection instant.
+func (c *Cluster) failToR(rack int) {
+	c.torFailed[rack] = true
+	c.tors[rack].SetDown(true)
+}
+
+// Stats sums the data-plane counters of every ToR in the cluster.
+func (c *Cluster) Stats() switchsim.Stats {
+	var total switchsim.Stats
+	for _, tor := range c.tors {
+		s := tor.Stats()
+		total.Add(s)
+	}
+	return total
+}
+
+// reachable reports whether a server can exchange traffic with the rest
+// of the cluster: it must be alive and its rack's ToR must be up.
+func (s *server) reachable() bool {
+	return !s.failed && !s.rack.cluster.torFailed[s.rackIdx]
+}
+
+// torOf returns the ToR switch serving a server's rack.
+func (r *Rack) torOf(s *server) *switchsim.Switch {
+	return r.cluster.tors[s.rackIdx]
+}

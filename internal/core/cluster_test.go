@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"rackblox/internal/sim"
+)
+
+// clusterConfig is a three-rack, six-servers-per-rack cluster running
+// RS(4,2) with spread placement, sized so every rack holds exactly m=2
+// chunks of every stripe.
+func clusterConfig() Config {
+	cfg := DefaultConfig()
+	cfg.System = RackBlox
+	cfg.Racks = 3
+	cfg.StorageServers = 6
+	cfg.VSSDPairs = 3
+	cfg.Redundancy = ErasureCode(4, 2)
+	cfg.Placement = PlacementSpread
+	cfg.Warmup = 50 * sim.Millisecond
+	cfg.Duration = 300 * sim.Millisecond
+	return cfg
+}
+
+func TestMultiRackClusterHealthyRun(t *testing.T) {
+	res, err := Run(clusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorder.Len() < 3000 {
+		t.Fatalf("only %d samples", res.Recorder.Len())
+	}
+	if res.LostRequests != 0 || res.UnrecoverableStripes != 0 {
+		t.Fatalf("healthy cluster lost data: lost=%d unrecov=%d",
+			res.LostRequests, res.UnrecoverableStripes)
+	}
+	if res.CrossRackRepairBytes != 0 {
+		t.Fatalf("healthy cluster moved %d repair bytes over the spine",
+			res.CrossRackRepairBytes)
+	}
+}
+
+func TestWholeRackFailureSpreadPlacementRecovers(t *testing.T) {
+	cfg := clusterConfig()
+	cfg.FailRackIndex = 1
+	cfg.FailServerAt = 120 * sim.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnrecoverableStripes != 0 {
+		t.Fatalf("spread placement lost %d stripes to a single-rack failure",
+			res.UnrecoverableStripes)
+	}
+	if res.LostReads != 0 {
+		t.Fatalf("%d reads lost; failover + retransmission should recover all", res.LostReads)
+	}
+	if res.DegradedReads == 0 {
+		t.Fatal("no degraded reads despite six dead chunk holders")
+	}
+	if res.CrossRackRepairBytes == 0 {
+		t.Fatal("rack-level repair moved no bytes over the spine")
+	}
+	if u := res.SpineUtilization; u <= 0 || u > 1 {
+		t.Fatalf("spine utilization %f outside (0,1]", u)
+	}
+	// The metered link bounds repair throughput: bytes over the whole run
+	// can never exceed capacity * elapsed.
+	capBytes := cfg.CrossRackMBps * 1e6 * float64(res.SimulatedTime) / 1e9
+	if float64(res.CrossRackRepairBytes) > capBytes {
+		t.Fatalf("cross-rack repair bytes %d exceed link capacity %f",
+			res.CrossRackRepairBytes, capBytes)
+	}
+	if res.Switch.Handoffs == 0 {
+		t.Fatal("no inter-switch handoffs; reads for the dead rack's members should spill over")
+	}
+}
+
+func TestWholeRackFailureCompactPlacementLosesGroups(t *testing.T) {
+	cfg := clusterConfig()
+	cfg.Placement = PlacementCompact
+	cfg.FailRackIndex = 0
+	cfg.FailServerAt = 120 * sim.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnrecoverableStripes == 0 {
+		t.Fatal("compact placement survived a whole-rack failure; placement is not compact")
+	}
+	// Other racks' groups keep serving.
+	if res.Recorder.Len() < 2000 {
+		t.Fatalf("only %d samples; surviving racks stopped serving", res.Recorder.Len())
+	}
+}
+
+func TestToRFailureServedByHandoff(t *testing.T) {
+	cfg := clusterConfig()
+	cfg.FailToRIndex = 2
+	cfg.FailServerAt = 120 * sim.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dark ToR isolates its rack but loses no data: stripes stay
+	// complete on disk, reads are served degraded from the other racks.
+	if res.UnrecoverableStripes != 0 {
+		t.Fatalf("ToR failure destroyed %d stripes; no data should be lost",
+			res.UnrecoverableStripes)
+	}
+	if res.LostReads != 0 {
+		t.Fatalf("%d reads lost after ToR failover", res.LostReads)
+	}
+	if res.DegradedReads == 0 {
+		t.Fatal("no degraded reads despite an isolated rack")
+	}
+	if res.Failovers == 0 {
+		t.Fatal("ToR failure never detected")
+	}
+	// No chunk reconstruction: the data is intact behind the dark ToR.
+	if res.RepairedStripes != 0 || res.RepairPending != 0 {
+		t.Fatalf("ToR failure queued reconstruction (repaired=%d pending=%d)",
+			res.RepairedStripes, res.RepairPending)
+	}
+}
+
+func TestSingleRackConfigUnchangedByClusterLayer(t *testing.T) {
+	// The cluster layer with one rack must behave as the original rack:
+	// no spine, no handoffs, identical topology invariants.
+	cfg := DefaultConfig()
+	cfg.Duration = 150 * sim.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switch.Handoffs != 0 || res.CrossRackRepairBytes != 0 || res.SpineUtilization != 0 {
+		t.Fatalf("single-rack run touched the spine: %+v", res.Switch)
+	}
+}
+
+func TestMultiRackReplicationPairsCrossRacks(t *testing.T) {
+	// Replication on a multi-rack cluster: pairs still serve, and a
+	// server failure in rack 0 fails over as in the single-rack testbed.
+	cfg := DefaultConfig()
+	cfg.Racks = 2
+	cfg.StorageServers = 3
+	cfg.Warmup = 50 * sim.Millisecond
+	cfg.Duration = 300 * sim.Millisecond
+	cfg.FailServerIndex = 0
+	cfg.FailServerAt = 120 * sim.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("no failover on the multi-rack replication cluster")
+	}
+	if res.Recorder.Len() < 3000 {
+		t.Fatalf("only %d samples", res.Recorder.Len())
+	}
+}

@@ -106,14 +106,41 @@ type WorkloadSpec struct {
 	MeanGap sim.Time
 }
 
+// PlacementMode selects how erasure-coded stripes map onto the cluster's
+// rack fault domains (Config.Placement).
+type PlacementMode = ec.PlacementMode
+
+// Placement modes: compact confines each stripe group to one rack (the
+// original rack-aware layout); spread distributes every stripe across
+// racks with at most m chunks per rack, so a whole-rack or ToR failure
+// leaves every stripe recoverable.
+const (
+	PlacementCompact = ec.PlaceCompact
+	PlacementSpread  = ec.PlaceSpread
+)
+
 // Config parameterizes one rack experiment.
 type Config struct {
 	System System
 	Seed   int64
 
-	// StorageServers is the number of storage servers (the testbed uses
-	// four plus one client server).
+	// StorageServers is the number of storage servers per rack (the
+	// testbed uses four plus one client server).
 	StorageServers int
+	// Racks is the number of rack fault domains composed under the
+	// cluster's spine link; 0 or 1 is the paper's single-rack testbed.
+	// Each rack gets its own ToR switch.
+	Racks int
+	// Placement selects compact (per-rack) or spread (cross-rack)
+	// placement for erasure-coded stripes; ignored under replication.
+	Placement PlacementMode
+	// CrossRackMBps is the spine/aggregation link capacity in MB/s shared
+	// by all cross-rack repair traffic (degraded-read chunk fetches and
+	// background reconstruction). Required when Racks > 1.
+	CrossRackMBps float64
+	// CrossRackLatency is the added one-way latency of a spine crossing
+	// (ToR -> aggregation -> ToR), on top of the per-hop edge latency.
+	CrossRackLatency sim.Time
 	// VSSDPairs is the number of logical volumes: primary+replica vSSD
 	// pairs under ReplicationScheme, RS(k,m) stripe groups under
 	// ErasureCoded.
@@ -194,7 +221,16 @@ type Config struct {
 	FailServerAt    sim.Time
 	// FailServers injects additional server crashes at FailServerAt, so
 	// erasure-coded racks can lose up to m chunk holders per stripe.
+	// Validate rejects duplicate or out-of-range entries with a
+	// *FailureSpecError.
 	FailServers []int
+	// FailRackIndex crashes every server of one rack at FailServerAt
+	// (whole-rack power loss); -1 disables (the default).
+	FailRackIndex int
+	// FailToRIndex fails one rack's ToR switch at FailServerAt: the
+	// rack's servers stay alive but unreachable, and surviving ToRs take
+	// over its stripe traffic via inter-switch handoff. -1 disables.
+	FailToRIndex int
 }
 
 // DefaultConfig returns the paper's default setup scaled to simulation:
@@ -202,12 +238,15 @@ type Config struct {
 // Kyber scheduling, 35%/25% GC thresholds, YCSB 50/50 at moderate load.
 func DefaultConfig() Config {
 	return Config{
-		System:          RackBlox,
-		Seed:            1,
-		StorageServers:  4,
-		VSSDPairs:       4,
-		Redundancy:      Replication(),
-		ChannelsPerVSSD: 2,
+		System:           RackBlox,
+		Seed:             1,
+		StorageServers:   4,
+		Racks:            1,
+		CrossRackMBps:    200,
+		CrossRackLatency: 50 * sim.Microsecond,
+		VSSDPairs:        4,
+		Redundancy:       Replication(),
+		ChannelsPerVSSD:  2,
 		Geometry: flash.Geometry{
 			Channels:        8,
 			ChipsPerChannel: 4,
@@ -235,8 +274,21 @@ func DefaultConfig() Config {
 		Warmup:              100 * sim.Millisecond,
 		Duration:            1000 * sim.Millisecond,
 		FailServerIndex:     -1,
+		FailRackIndex:       -1,
+		FailToRIndex:        -1,
 	}
 }
+
+// racks normalizes the fault-domain count: 0 means one rack.
+func (c *Config) racks() int {
+	if c.Racks < 1 {
+		return 1
+	}
+	return c.Racks
+}
+
+// totalServers is the cluster-wide storage-server count.
+func (c *Config) totalServers() int { return c.racks() * c.StorageServers }
 
 // coordinated reports whether the storage scheduler uses network state.
 func (c *Config) coordinated() bool {
@@ -268,6 +320,67 @@ func (c *Config) defaultQdisc() string {
 	return "None"
 }
 
+// FailureSpecError reports an invalid failure-injection configuration:
+// an out-of-range server or rack index, or a duplicate server entry that
+// would silently double-count one crash.
+type FailureSpecError struct {
+	// Field names the offending configuration field.
+	Field string
+	// Index is the rejected value.
+	Index int
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *FailureSpecError) Error() string {
+	return fmt.Sprintf("core: %s: index %d %s", e.Field, e.Index, e.Reason)
+}
+
+// validateFailureSpec rejects duplicate and out-of-range failure
+// targets, including server entries already covered by a configured
+// whole-rack failure — any overlap would silently double-count one
+// crash against the redundancy budget.
+func (c *Config) validateFailureSpec() error {
+	total := c.totalServers()
+	if c.FailServerIndex < -1 || c.FailServerIndex >= total {
+		return &FailureSpecError{Field: "FailServerIndex", Index: c.FailServerIndex,
+			Reason: fmt.Sprintf("out of range [0,%d) (-1 disables)", total)}
+	}
+	if c.FailRackIndex < -1 || c.FailRackIndex >= c.racks() {
+		return &FailureSpecError{Field: "FailRackIndex", Index: c.FailRackIndex,
+			Reason: fmt.Sprintf("out of range [0,%d) (-1 disables)", c.racks())}
+	}
+	if c.FailToRIndex < -1 || c.FailToRIndex >= c.racks() {
+		return &FailureSpecError{Field: "FailToRIndex", Index: c.FailToRIndex,
+			Reason: fmt.Sprintf("out of range [0,%d) (-1 disables)", c.racks())}
+	}
+	seen := make(map[int]bool)
+	if j := c.FailRackIndex; j >= 0 {
+		for i := j * c.StorageServers; i < (j+1)*c.StorageServers; i++ {
+			seen[i] = true
+		}
+	}
+	if idx := c.FailServerIndex; idx >= 0 {
+		if seen[idx] {
+			return &FailureSpecError{Field: "FailServerIndex", Index: idx,
+				Reason: "already covered by FailRackIndex; each server can only crash once"}
+		}
+		seen[idx] = true
+	}
+	for _, idx := range c.FailServers {
+		if idx < 0 || idx >= total {
+			return &FailureSpecError{Field: "FailServers", Index: idx,
+				Reason: fmt.Sprintf("out of range [0,%d)", total)}
+		}
+		if seen[idx] {
+			return &FailureSpecError{Field: "FailServers", Index: idx,
+				Reason: "duplicated; each server can only crash once"}
+		}
+		seen[idx] = true
+	}
+	return nil
+}
+
 // Validate checks configuration invariants.
 func (c *Config) Validate() error {
 	if c.StorageServers < 2 {
@@ -279,13 +392,24 @@ func (c *Config) Validate() error {
 	if err := c.Geometry.Validate(); err != nil {
 		return err
 	}
+	if c.racks() > 1 {
+		if c.CrossRackMBps <= 0 {
+			return errors.New("core: multi-rack cluster needs positive cross-rack bandwidth")
+		}
+		if c.CrossRackLatency < 0 {
+			return errors.New("core: cross-rack latency must be non-negative")
+		}
+	}
 	if c.Redundancy.Scheme == ErasureCoded {
-		if err := c.Redundancy.ec().Validate(c.StorageServers); err != nil {
+		if err := c.Redundancy.ec().ValidateCluster(c.racks(), c.StorageServers, c.Placement); err != nil {
 			return err
 		}
 		if c.SoftwareIsolated {
 			return errors.New("core: erasure coding requires hardware-isolated vSSDs")
 		}
+	}
+	if err := c.validateFailureSpec(); err != nil {
+		return err
 	}
 	need := c.neededChannelsPerServer()
 	if need > c.Geometry.Channels {
@@ -314,14 +438,25 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// placer builds the cluster's erasure-coding placer from the config.
+func (c *Config) placer() ec.Placer {
+	return ec.Placer{
+		Servers:    c.StorageServers,
+		Racks:      c.racks(),
+		Width:      c.Redundancy.ec().Width(),
+		Mode:       c.Placement,
+		MaxPerRack: c.Redundancy.M,
+	}
+}
+
 // neededChannelsPerServer computes channel demand per server. With P
 // replicated pairs round-robin over S servers each server hosts
 // ceil(2P/S) instances; erasure-coded groups place per the rack-aware
 // Placer, so demand is the maximum of its actual assignment.
 func (c *Config) neededChannelsPerServer() int {
 	if c.Redundancy.Scheme == ErasureCoded {
-		placer := ec.Placer{Servers: c.StorageServers, Width: c.Redundancy.ec().Width()}
-		counts := make([]int, c.StorageServers)
+		placer := c.placer()
+		counts := make([]int, placer.TotalServers())
 		most := 0
 		for g := 0; g < c.VSSDPairs; g++ {
 			for _, s := range placer.Place(g) {
@@ -333,6 +468,6 @@ func (c *Config) neededChannelsPerServer() int {
 		}
 		return most * c.ChannelsPerVSSD
 	}
-	instances := (2*c.VSSDPairs + c.StorageServers - 1) / c.StorageServers
+	instances := (2*c.VSSDPairs + c.totalServers() - 1) / c.totalServers()
 	return instances * c.ChannelsPerVSSD
 }

@@ -50,7 +50,7 @@ type ecGroup struct {
 func (r *Rack) buildGroups() error {
 	cfg := r.cfg
 	spec := cfg.Redundancy.ec()
-	placer := ec.Placer{Servers: len(r.servers), Width: spec.Width()}
+	placer := cfg.placer()
 	alloc := r.channelAllocator()
 
 	for gidx := 0; gidx < cfg.VSSDPairs; gidx++ {
@@ -73,19 +73,31 @@ func (r *Rack) buildGroups() error {
 			g.insts = append(g.insts, inst)
 		}
 
-		// Register every chunk holder in the ToR tables (create_vssd,
-		// replica = the next member so non-stripe paths degrade
-		// gracefully) and install the stripe group for degraded routing.
+		// Register every chunk holder with its own rack's ToR
+		// (create_vssd, replica = the next member in the same rack so
+		// non-stripe paths degrade gracefully without leaking remote IPs
+		// into the wrong destination table), then install the stripe
+		// group — member ids plus their racks — in every involved ToR's
+		// per-rack stripe table for degraded routing and handoff.
 		ids := make([]uint32, 0, width)
+		racks := make([]int, 0, width)
 		for i, inst := range g.insts {
-			next := g.insts[(i+1)%width]
-			r.sw.Process(packet.Packet{
+			next := g.sameRackNeighbor(i)
+			r.torOf(inst.server).Process(packet.Packet{
 				Op: packet.OpCreateVSSD, VSSD: inst.id, SrcIP: inst.server.ip,
 				ReplicaVSSD: next.id, ReplicaIP: next.server.ip,
 			})
 			ids = append(ids, inst.id)
+			racks = append(racks, inst.server.rackIdx)
 		}
-		r.sw.RegisterStripe(ids)
+		seenRack := make(map[int]bool)
+		for _, inst := range g.insts {
+			if seenRack[inst.server.rackIdx] {
+				continue
+			}
+			seenRack[inst.server.rackIdx] = true
+			r.torOf(inst.server).RegisterStripeMembers(ids, racks)
+		}
 
 		perChunk := int(float64(g.insts[0].v.FTL.LogicalPages()) * cfg.KeyspaceFrac)
 		if perChunk < 1 {
@@ -102,6 +114,21 @@ func (r *Rack) buildGroups() error {
 	return nil
 }
 
+// sameRackNeighbor returns the next group member sharing member i's rack
+// (the "replica" hint registered with its ToR); with no rack-local
+// neighbor the member points at itself, a harmless self-entry.
+func (g *ecGroup) sameRackNeighbor(i int) *instance {
+	self := g.insts[i]
+	n := len(g.insts)
+	for d := 1; d < n; d++ {
+		m := g.insts[(i+d)%n]
+		if m.server.rackIdx == self.server.rackIdx {
+			return m
+		}
+	}
+	return self
+}
+
 // writeHolders returns the instances a logical write must update: the
 // data chunk's holder plus the stripe's m parity holders.
 func (g *ecGroup) writeHolders(stripe, pos int) []*instance {
@@ -113,35 +140,44 @@ func (g *ecGroup) writeHolders(stripe, pos int) []*instance {
 }
 
 // adopter picks the surviving member that absorbs a dead holder's
-// traffic and rebuilt chunks: the next live member in group order.
+// traffic and rebuilt chunks: the next live, reachable member in group
+// order.
 func (g *ecGroup) adopter(holder int) *instance {
 	n := len(g.insts)
 	for i := 1; i < n; i++ {
 		m := g.insts[(holder+i)%n]
-		if !m.server.failed {
+		if m.server.reachable() {
 			return m
 		}
 	}
 	return nil
 }
 
-// readSources orders the chunk sources for a degraded reconstruction:
-// the coordinator's local chunk first (free of network hops), then idle
-// survivors, then collecting survivors as a last resort. Every member
-// holds exactly one chunk of every stripe, so any k of them suffice.
+// readSources orders the chunk sources for a degraded reconstruction
+// rack-local-first: the coordinator's own chunk (free of network hops),
+// then idle survivors in the coordinator's rack, then idle survivors in
+// other racks — which cost spine latency and metered cross-rack
+// bandwidth — and collecting survivors last. Every member holds exactly
+// one chunk of every stripe, so any k of them suffice; the ordering
+// means the read spills onto the cross-rack link only when its own rack
+// cannot muster k healthy chunks.
 func (g *ecGroup) readSources(coord *instance, now sim.Time) []*instance {
 	out := []*instance{coord}
-	var busy []*instance
+	var remote, busy []*instance
 	for _, m := range g.insts {
-		if m == coord || m.server.failed {
+		if m == coord || !m.server.reachable() {
 			continue
 		}
-		if m.v.InGC(now) {
+		switch {
+		case m.v.InGC(now):
 			busy = append(busy, m)
-			continue
+		case m.server.rackIdx != coord.server.rackIdx:
+			remote = append(remote, m)
+		default:
+			out = append(out, m)
 		}
-		out = append(out, m)
 	}
+	out = append(out, remote...)
 	return append(out, busy...)
 }
 
@@ -196,7 +232,10 @@ func (r *Rack) sendEC(st *reqState) {
 	r.sendECPacket(st, home, packet.OpRead)
 }
 
-// sendECPacket emits one sub-operation toward a chunk holder via the ToR.
+// sendECPacket emits one sub-operation toward a chunk holder via its
+// rack's ToR. Once a ToR failure is detected the client enters through
+// another rack of the group instead; that ToR's failover and handoff
+// tables route around the dark rack.
 func (r *Rack) sendECPacket(st *reqState, inst *instance, op packet.Op) {
 	pkt := packet.Packet{
 		Op:    op,
@@ -207,9 +246,16 @@ func (r *Rack) sendECPacket(st *reqState, inst *instance, op packet.Op) {
 		LPN:   st.lpn,
 		Seq:   st.seq,
 	}
-	hop := r.net.HopLatency(r.eng.Now())
-	pkt.AddLatency(hop)
-	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+	tor := r.torOf(inst.server)
+	if r.cluster.torDetected[inst.server.rackIdx] {
+		for _, m := range st.group.insts {
+			if alt := r.torOf(m.server); !alt.Down() {
+				tor = alt
+				break
+			}
+		}
+	}
+	r.clientSend(pkt, tor)
 }
 
 // startDegradedRead reconstructs a chunk at a surviving holder: the
@@ -251,8 +297,10 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 		}
 		r.eng.After(ecDecodeTime, func(sim.Time) { s.completeRead(inst, req) })
 	}
+	chunkBytes := int64(r.cfg.Geometry.PageSize)
 	for _, src := range sources {
 		src := src
+		cross := src.server.rackIdx != inst.server.rackIdx
 		readChunk := func(sim.Time) {
 			addr, err := src.v.FTL.Read(stripe)
 			if err != nil {
@@ -265,6 +313,15 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 					finish()
 					return
 				}
+				if cross {
+					// The chunk ships back over the metered spine link,
+					// then the remote-rack edge hops.
+					r.cluster.crossFetch(chunkBytes, func(sim.Time) {
+						back := r.cluster.spineLatency + r.net.PathLatency(r.eng.Now(), 2)
+						r.eng.After(back, func(sim.Time) { finish() })
+					})
+					return
+				}
 				back := r.net.PathLatency(r.eng.Now(), 2)
 				r.eng.After(back, func(sim.Time) { finish() })
 			})
@@ -272,7 +329,11 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 		if src == inst {
 			readChunk(now)
 		} else {
-			r.eng.After(r.net.PathLatency(now, 2), readChunk)
+			out := r.net.PathLatency(now, 2)
+			if cross {
+				out += r.cluster.spineLatency
+			}
+			r.eng.After(out, readChunk)
 		}
 	}
 }
@@ -297,10 +358,10 @@ func (r *Rack) repairPump(g *ecGroup) {
 		return
 	}
 	for _, m := range g.insts {
-		if m.server.failed {
+		if !m.server.reachable() {
 			continue
 		}
-		if r.sw.GCStatus(m.id) {
+		if r.torOf(m.server).GCStatus(m.id) {
 			g.recon.Delayed()
 			r.scheduleRepair(g)
 			return
@@ -315,9 +376,12 @@ func (r *Rack) repairPump(g *ecGroup) {
 }
 
 // runRepairTask rebuilds one batch of a lost holder's chunks: k chunk
-// reads spread over the survivors, the RS decode, and the programs that
-// land the rebuilt chunks on the adopting holder. Channel time is
-// charged in bulk per batch.
+// reads spread over the survivors — intra-rack survivors first, spilling
+// onto the metered cross-rack link only when the adopter's rack cannot
+// supply k — the RS decode, and the programs that land the rebuilt
+// chunks on the adopting holder. Channel time is charged in bulk per
+// batch; cross-rack sources additionally serialize their batch bytes
+// through the cluster spine.
 func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 	now := r.eng.Now()
 	adopter := g.adopter(task.Holder)
@@ -327,14 +391,21 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 		return
 	}
 	sources := []*instance{adopter}
-	for _, m := range g.insts {
-		if len(sources) == g.spec.K {
-			break
+	// Rack-local survivors first, then remote ones (local-first repair).
+	for pass := 0; pass < 2; pass++ {
+		for _, m := range g.insts {
+			if len(sources) == g.spec.K {
+				break
+			}
+			if m == adopter || m == g.insts[task.Holder] || !m.server.reachable() {
+				continue
+			}
+			local := m.server.rackIdx == adopter.server.rackIdx
+			if (pass == 0) != local {
+				continue
+			}
+			sources = append(sources, m)
 		}
-		if m == adopter || m == g.insts[task.Holder] || m.server.failed {
-			continue
-		}
-		sources = append(sources, m)
 	}
 	if len(sources) < g.spec.K {
 		// Unrecoverable with the current survivors: drop the task; the
@@ -346,9 +417,16 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 
 	var end sim.Time
 	readDur := sim.Time(task.Stripes) * r.cfg.Device.ReadPage
+	batchBytes := int64(task.Stripes) * int64(r.cfg.Geometry.PageSize)
 	for _, src := range sources {
 		chs := src.v.Channels()
 		_, e := src.server.dev.OccupyChannel(chs[task.FirstStripe%len(chs)], readDur)
+		if src.server.rackIdx != adopter.server.rackIdx {
+			// The batch crosses the spine: meter it on the shared link.
+			if _, te := r.cluster.crossFetch(batchBytes, nil); te+r.cluster.spineLatency > e {
+				e = te + r.cluster.spineLatency
+			}
+		}
 		if e > end {
 			end = e
 		}

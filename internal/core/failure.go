@@ -2,6 +2,7 @@ package core
 
 import (
 	"rackblox/internal/sim"
+	"rackblox/internal/switchsim"
 )
 
 // Failure handling (§3.7 "Others"): RackBlox detects failures with
@@ -20,12 +21,16 @@ const missedHeartbeats = 3
 // declaring the request lost (it was in flight to a server that died).
 const clientTimeout = 100 * sim.Millisecond
 
-// failureConfigured reports whether any server crash is injected.
+// failureConfigured reports whether any server, rack, or ToR failure is
+// injected.
 func (r *Rack) failureConfigured() bool {
-	return r.cfg.FailServerIndex >= 0 || len(r.cfg.FailServers) > 0
+	return r.cfg.FailServerIndex >= 0 || len(r.cfg.FailServers) > 0 ||
+		r.cfg.FailRackIndex >= 0 || r.cfg.FailToRIndex >= 0
 }
 
-// failTargets collects the distinct servers configured to crash.
+// failTargets collects the distinct servers configured to crash; a
+// configured rack failure contributes every server of that rack.
+// Validate has already rejected duplicates and out-of-range indices.
 func (r *Rack) failTargets() []*server {
 	var out []*server
 	seen := make(map[int]bool)
@@ -40,27 +45,40 @@ func (r *Rack) failTargets() []*server {
 	for _, idx := range r.cfg.FailServers {
 		add(idx)
 	}
+	if j := r.cfg.FailRackIndex; j >= 0 {
+		for i := j * r.cfg.StorageServers; i < (j+1)*r.cfg.StorageServers; i++ {
+			add(i)
+		}
+	}
 	return out
 }
 
-// scheduleFailure arms the configured server-failure injection. All
-// configured servers crash together at FailServerAt — the worst case for
-// an erasure-coded rack, which must then reconstruct reads from the k
-// surviving chunks of every stripe.
+// scheduleFailure arms the configured failure injections. All configured
+// servers (and any whole rack) crash together at FailServerAt — the
+// worst case for an erasure-coded cluster, which must then reconstruct
+// reads from the k surviving chunks of every stripe; a configured ToR
+// failure darkens its rack at the same instant.
 func (r *Rack) scheduleFailure() {
 	targets := r.failTargets()
-	if len(targets) == 0 {
+	torIdx := r.cfg.FailToRIndex
+	if len(targets) == 0 && torIdx < 0 {
 		return
 	}
 	r.eng.At(r.cfg.FailServerAt, func(sim.Time) {
 		for _, srv := range targets {
 			srv.failed = true
 		}
+		if torIdx >= 0 {
+			r.cluster.failToR(torIdx)
+		}
 	})
 	// The heartbeat detector notices after three silent periods.
 	r.eng.At(r.cfg.FailServerAt+missedHeartbeats*HeartbeatInterval, func(sim.Time) {
 		for _, srv := range targets {
 			r.onServerDetectedDead(srv)
+		}
+		if torIdx >= 0 {
+			r.onToRDetectedDead(torIdx)
 		}
 	})
 }
@@ -83,25 +101,16 @@ func (r *Rack) onServerDetectedDead(dead *server) {
 			if survivor == nil || survivor.server.failed {
 				continue // both copies lost; requests to this pair stall
 			}
-			// The switch rewrites the dead vSSD's traffic (control-plane
-			// update, one hop away).
-			hop := r.net.HopLatency(r.eng.Now())
-			deadID := inst.id
-			survivorID := survivor.id
-			r.eng.After(hop, func(sim.Time) {
-				r.sw.Failover(deadID, survivorID)
-			})
 			// The survivor's Hermes node stops waiting for the dead peer.
 			survivor.repl.RemovePeer(inst.repl.ID())
-			if r.controller != nil {
-				r.controller.inGC[deadID] = false
-			}
+			r.installFailover(inst, survivor)
 		}
 	}
 	// Erasure-coded groups: every chunk holder on the dead server fails
 	// over to an adopting member (reads reconstruct degraded, writes
-	// land on the adopter), and the lost chunks are queued for
-	// background reconstruction in the switch's GC idle windows.
+	// land on the adopter), the loss is propagated to the sibling ToRs'
+	// stripe tables, and the lost chunks are queued for background
+	// reconstruction in the switch's GC idle windows.
 	for _, g := range r.groups {
 		for i, inst := range g.insts {
 			if inst.server != dead {
@@ -111,19 +120,125 @@ func (r *Rack) onServerDetectedDead(dead *server) {
 			if adopter == nil {
 				continue // whole group lost
 			}
-			hop := r.net.HopLatency(r.eng.Now())
-			deadID := inst.id
-			adopterID := adopter.id
-			r.eng.After(hop, func(sim.Time) {
-				r.sw.Failover(deadID, adopterID)
-			})
-			if r.controller != nil {
-				r.controller.inGC[deadID] = false
-			}
+			r.installFailover(inst, adopter)
+			r.propagateMemberDead(g, inst)
 			g.recon.EnqueueChunk(i, g.usedStripes, repairBatchStripes)
 			r.scheduleRepair(g)
 		}
 	}
+}
+
+// installFailover rewrites a dead instance's traffic to its survivor in
+// the switch tables (control-plane update). The entry lands on the dead
+// member's own ToR and — when the survivor lives under a different, live
+// ToR — on the survivor's too, so rerouted client traffic entering there
+// resolves as well.
+func (r *Rack) installFailover(deadInst, survivor *instance) {
+	tors := []*switchsim.Switch{r.torOf(deadInst.server)}
+	if alt := r.torOf(survivor.server); alt != tors[0] {
+		tors = append(tors, alt)
+	}
+	r.installFailoverOn(tors, deadInst, survivor)
+}
+
+// installFailoverOn delivers the RegisterDest+Failover control-plane
+// update to each listed ToR: one edge hop, plus the spine crossing for
+// ToRs in other racks than the dead member's — the same distance every
+// other cross-rack control message pays. ToRs that are down when the
+// update arrives miss it, like any packet to a dark switch.
+func (r *Rack) installFailoverOn(tors []*switchsim.Switch, deadInst, survivor *instance) {
+	hop := r.net.HopLatency(r.eng.Now())
+	deadID, survivorID := deadInst.id, survivor.id
+	survivorIP := survivor.server.ip
+	for _, tor := range tors {
+		tor := tor
+		delay := hop + r.cluster.crossLatency(deadInst.server.rackIdx, tor.RackID())
+		r.eng.After(delay, func(sim.Time) {
+			if tor.Down() {
+				return
+			}
+			tor.RegisterDest(survivorID, survivorIP)
+			tor.Failover(deadID, survivorID)
+		})
+	}
+	if r.controller != nil {
+		r.controller.inGC[deadID] = false
+	}
+}
+
+// propagateMemberDead tells every other ToR holding the group's stripe
+// that a member is gone (inter-switch control plane), so their handoffs
+// steer around it.
+func (r *Rack) propagateMemberDead(g *ecGroup, deadInst *instance) {
+	home := r.torOf(deadInst.server)
+	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.spineLatency
+	deadID := deadInst.id
+	seen := map[*switchsim.Switch]bool{home: true}
+	for _, m := range g.insts {
+		tor := r.torOf(m.server)
+		if seen[tor] {
+			continue
+		}
+		seen[tor] = true
+		r.eng.After(hop, func(sim.Time) { tor.MarkRemoteDead(deadID) })
+	}
+}
+
+// onToRDetectedDead reacts to a ToR (whole-switch) failure: the rack's
+// servers are alive but dark, so surviving ToRs must both stop handing
+// stripe reads toward the isolated members and rewrite writes to
+// adopting members. Unlike a rack crash no data is lost — nothing is
+// queued for reconstruction, reads are served degraded until the ToR
+// returns.
+func (r *Rack) onToRDetectedDead(rackIdx int) {
+	if r.cluster.torDetected[rackIdx] {
+		return
+	}
+	r.cluster.torDetected[rackIdx] = true
+	r.failovers++
+	for _, pr := range r.pairs {
+		for _, inst := range []*instance{pr.primary, pr.replica} {
+			if inst.server.rackIdx != rackIdx {
+				continue
+			}
+			survivor := r.insts[inst.replicaID]
+			if survivor == nil || !survivor.server.reachable() {
+				continue
+			}
+			survivor.repl.RemovePeer(inst.repl.ID())
+			r.installFailover(inst, survivor)
+		}
+	}
+	for _, g := range r.groups {
+		for i, inst := range g.insts {
+			if inst.server.rackIdx != rackIdx {
+				continue
+			}
+			adopter := g.adopter(i)
+			if adopter == nil {
+				continue
+			}
+			r.installFailoverOnGroup(g, inst, adopter)
+			r.propagateMemberDead(g, inst)
+		}
+	}
+}
+
+// installFailoverOnGroup installs a dead member's failover entry on
+// every ToR serving the group, so client traffic entering through any
+// surviving rack resolves the rewrite.
+func (r *Rack) installFailoverOnGroup(g *ecGroup, deadInst, adopter *instance) {
+	var tors []*switchsim.Switch
+	seen := make(map[*switchsim.Switch]bool)
+	for _, m := range g.insts {
+		tor := r.torOf(m.server)
+		if seen[tor] {
+			continue
+		}
+		seen[tor] = true
+		tors = append(tors, tor)
+	}
+	r.installFailoverOn(tors, deadInst, adopter)
 }
 
 // watchTimeout arms the client-side loss detector for one request.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"rackblox/internal/sim"
@@ -86,6 +87,79 @@ func TestFailureUnderVDCKeepsRunning(t *testing.T) {
 	}
 	if res.Recorder.Len() < 3000 {
 		t.Fatalf("VDC stopped serving after failure: %d samples", res.Recorder.Len())
+	}
+}
+
+// TestFailServersRejectsBadSpecs is the regression test for the typed
+// failure-spec validation: duplicate server ids used to be silently
+// deduplicated (double-counting one crash against the redundancy
+// budget), and out-of-range indices were silently ignored.
+func TestFailServersRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"duplicate in FailServers", func(c *Config) {
+			c.FailServerIndex = -1
+			c.FailServers = []int{1, 2, 1}
+		}, "FailServers"},
+		{"duplicate of FailServerIndex", func(c *Config) {
+			c.FailServerIndex = 0
+			c.FailServers = []int{0}
+		}, "FailServers"},
+		{"out of range high", func(c *Config) {
+			c.FailServers = []int{99}
+		}, "FailServers"},
+		{"negative entry", func(c *Config) {
+			c.FailServers = []int{-3}
+		}, "FailServers"},
+		{"FailServerIndex out of range", func(c *Config) {
+			c.FailServerIndex = 64
+		}, "FailServerIndex"},
+		{"FailServerIndex negative but not -1", func(c *Config) {
+			c.FailServerIndex = -5
+		}, "FailServerIndex"},
+		{"FailServers overlaps failed rack", func(c *Config) {
+			c.FailRackIndex = 0
+			c.FailServers = []int{0}
+		}, "FailServers"},
+		{"FailServerIndex inside failed rack", func(c *Config) {
+			c.FailRackIndex = 0
+			c.FailServerIndex = 1
+		}, "FailServerIndex"},
+		{"FailRackIndex out of range", func(c *Config) {
+			c.FailRackIndex = 7
+		}, "FailRackIndex"},
+		{"FailToRIndex out of range", func(c *Config) {
+			c.FailToRIndex = 7
+		}, "FailToRIndex"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		_, err := Run(cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var spec *FailureSpecError
+		if !errors.As(err, &spec) {
+			t.Errorf("%s: err = %v, want *FailureSpecError", tc.name, err)
+			continue
+		}
+		if spec.Field != tc.field {
+			t.Errorf("%s: field = %q, want %q", tc.name, spec.Field, tc.field)
+		}
+	}
+	// Distinct in-range entries stay accepted.
+	cfg := DefaultConfig()
+	cfg.Duration = 100 * sim.Millisecond
+	cfg.FailServerIndex = 0
+	cfg.FailServers = []int{1}
+	cfg.FailServerAt = 50 * sim.Millisecond
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("valid two-server spec rejected: %v", err)
 	}
 }
 

@@ -113,7 +113,8 @@ func (r *Rack) sendGCOp(inst *instance, gcType packet.GCField, attempt int) {
 		Port:  packet.ReservedPort,
 	}
 	hop := r.net.HopLatency(r.eng.Now())
-	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+	tor := r.torOf(inst.server)
+	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
 	r.eng.After(hop+gcReplyTimeout, func(sim.Time) {
 		if !inst.gcRequestInFlight || inst.gcRetries != epoch {
 			return // reply arrived
@@ -142,7 +143,8 @@ func (r *Rack) notifySwitchGC(inst *instance, gcType packet.GCField) {
 		Port:  packet.ReservedPort,
 	}
 	hop := r.net.HopLatency(r.eng.Now())
-	r.eng.After(hop, func(sim.Time) { r.sw.Process(pkt) })
+	tor := r.torOf(inst.server)
+	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
 }
 
 // handleGCReply processes the switch's accept/delay answer.

@@ -115,11 +115,18 @@ func (st *reqState) decInflight() {
 	}
 }
 
-// Rack is one end-to-end experiment instance.
+// Rack is one end-to-end experiment instance. Despite the historical
+// name it can span several rack fault domains: the embedded Cluster
+// composes per-rack ToR switches under a spine link, and servers carry
+// their rack index. With Config.Racks <= 1 it is exactly the paper's
+// single-rack testbed.
 type Rack struct {
 	cfg     Config
 	eng     *sim.Engine
 	net     *netsim.Network
+	cluster *Cluster
+	// sw aliases the first rack's ToR for the single-rack call sites and
+	// tests; multi-rack paths go through torOf/cluster.
 	sw      *switchsim.Switch
 	servers []*server
 	pairs   []*pair
@@ -176,23 +183,24 @@ func NewRack(cfg Config) (*Rack, error) {
 		clientIP: packet.IP4(10, 0, 0, 1),
 	}
 	r.net = netsim.New(cfg.Net, r.rng.Fork(100))
-	r.sw = switchsim.New(r.eng, switchsim.QdiscByName(cfg.defaultQdisc()), r.forwardFromSwitch)
-	if cfg.GCReplyDropRate > 0 {
-		r.sw.SetDropRate(cfg.GCReplyDropRate, r.rng.Fork(101))
-	}
+	r.cluster = newCluster(r)
+	r.sw = r.cluster.tors[0]
 
-	// Servers.
-	for i := 0; i < cfg.StorageServers; i++ {
+	// Servers, rack by rack: server i lives in rack i/StorageServers and
+	// addresses as 10.0.<rack>.<16+local>.
+	for i := 0; i < cfg.totalServers(); i++ {
 		dev, err := ssd.NewDevice(r.eng, cfg.Geometry, cfg.Device)
 		if err != nil {
 			return nil, err
 		}
+		rackIdx := r.cluster.RackOf(i)
 		s := &server{
-			rack:  r,
-			index: i,
-			ip:    packet.IP4(10, 0, 0, byte(16+i)),
-			dev:   dev,
-			insts: make(map[uint32]*instance),
+			rack:    r,
+			index:   i,
+			rackIdx: rackIdx,
+			ip:      packet.IP4(10, 0, byte(rackIdx), byte(16+i-rackIdx*cfg.StorageServers)),
+			dev:     dev,
+			insts:   make(map[uint32]*instance),
 		}
 		r.servers = append(r.servers, s)
 	}
@@ -261,12 +269,12 @@ func (r *Rack) buildPairs() error {
 		pr.gen = r.newGenerator(p, pri)
 		r.pairs = append(r.pairs, pr)
 
-		// Register both instances in the ToR tables (create_vssd).
-		r.sw.Process(packet.Packet{
+		// Register both instances in their racks' ToR tables (create_vssd).
+		r.torOf(priSrv).Process(packet.Packet{
 			Op: packet.OpCreateVSSD, VSSD: priID, SrcIP: priSrv.ip,
 			ReplicaVSSD: repID, ReplicaIP: repSrv.ip,
 		})
-		r.sw.Process(packet.Packet{
+		r.torOf(repSrv).Process(packet.Packet{
 			Op: packet.OpCreateVSSD, VSSD: repID, SrcIP: repSrv.ip,
 			ReplicaVSSD: priID, ReplicaIP: priSrv.ip,
 		})
@@ -365,10 +373,12 @@ func (r *Rack) hermesTransport(pri, rep *instance) replication.Transport {
 	}
 	return func(msg replication.Message) {
 		dst := byNode(msg.To)
-		delay := r.net.PathLatency(r.eng.Now(), 2)
+		src := byNode(1 - msg.To)
+		delay := r.net.PathLatency(r.eng.Now(), 2) +
+			r.cluster.crossLatency(src.server.rackIdx, dst.server.rackIdx)
 		r.eng.After(delay, func(sim.Time) {
-			if dst.server.failed {
-				return // messages to a crashed server are lost
+			if !dst.server.reachable() {
+				return // messages to a crashed or isolated server are lost
 			}
 			if msg.Type == replication.MsgInv {
 				// The invalidation carries the write: the follower caches
@@ -467,8 +477,11 @@ func (r *Rack) Keyspace() int {
 // Engine exposes the simulation engine (tests).
 func (r *Rack) Engine() *sim.Engine { return r.eng }
 
-// Switch exposes the ToR switch (tests).
+// Switch exposes the first rack's ToR switch (tests).
 func (r *Rack) Switch() *switchsim.Switch { return r.sw }
+
+// Cluster exposes the multi-rack topology layer (tests).
+func (r *Rack) Cluster() *Cluster { return r.cluster }
 
 // peerOf returns the other member of a two-member channel group, nil when
 // ungrouped.

@@ -48,6 +48,18 @@ type Result struct {
 	RepairPending      int64
 	RepairDelayed      int64
 
+	// Multi-rack cluster counters. CrossRackRepairBytes is the chunk
+	// bytes repair traffic (degraded-read fetches plus background
+	// reconstruction) moved over the spine; its average rate is bounded
+	// by Config.CrossRackMBps because transfers serialize on the link.
+	// UnrecoverableStripes counts stripes whose surviving chunk holders
+	// dropped below k — actual data loss, the figure compact placement
+	// shows under a whole-rack failure and spread placement avoids.
+	CrossRackRepairBytes int64
+	CrossRackFetches     int64
+	SpineUtilization     float64
+	UnrecoverableStripes int64
+
 	// WriteAmp is the mean write amplification across instances.
 	WriteAmp float64
 	// SimulatedTime is the virtual time the run covered.
@@ -78,7 +90,7 @@ func (r *Rack) Run() *Result {
 		System:             r.cfg.System,
 		Config:             r.cfg,
 		Recorder:           r.rec,
-		Switch:             r.sw.Stats(),
+		Switch:             r.cluster.Stats(),
 		ForcedGCs:          r.forcedGCs,
 		GCOpsSent:          r.gcOpsSent,
 		GCOpRetries:        r.gcOpRetries,
@@ -97,10 +109,24 @@ func (r *Rack) Run() *Result {
 		SimulatedTime:      r.eng.Now(),
 		Events:             r.eng.Processed(),
 	}
+	res.CrossRackRepairBytes = r.cluster.crossRepairBytes
+	res.CrossRackFetches = r.cluster.crossFetches
+	res.SpineUtilization = r.cluster.SpineUtilization()
 	for _, g := range r.groups {
 		res.RepairedStripes += int64(g.recon.RepairedStripes())
 		res.RepairPending += int64(g.recon.Pending())
 		res.RepairDelayed += int64(g.recon.DelayCount())
+		// A stripe with fewer than k surviving chunk holders is data
+		// loss: every member holds one chunk of every stripe.
+		alive := 0
+		for _, m := range g.insts {
+			if !m.server.failed {
+				alive++
+			}
+		}
+		if alive < g.spec.K {
+			res.UnrecoverableStripes += int64(g.usedStripes)
+		}
 	}
 	insts := r.allInstances()
 	var wa float64

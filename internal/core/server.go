@@ -12,11 +12,14 @@ import (
 // per-vSSD I/O queues, a DRAM write cache with a background flusher, and
 // the periodic GC monitor of Algorithm 2.
 type server struct {
-	rack  *Rack
-	index int
-	ip    uint32
-	dev   *ssd.Device
-	insts map[uint32]*instance
+	rack *Rack
+	// index is the global server index; rackIdx the fault domain it
+	// lives in (index / Config.StorageServers).
+	index   int
+	rackIdx int
+	ip      uint32
+	dev     *ssd.Device
+	insts   map[uint32]*instance
 
 	// failed marks a crashed server (drops all traffic); detected flips
 	// when the heartbeat monitor notices.

@@ -55,6 +55,35 @@ func (s Spec) Validate(servers int) error {
 	return nil
 }
 
+// ValidateCluster checks the spec against a multi-rack topology. Spread
+// placement caps every rack at m chunks of a stripe — so a whole-rack
+// failure erases at most m chunks and any stripe stays recoverable —
+// which needs at least ceil((k+m)/m) racks and enough servers per rack to
+// host the round-robin share ceil((k+m)/racks) on distinct machines.
+func (s Spec) ValidateCluster(racks, serversPerRack int, mode PlacementMode) error {
+	if racks < 1 {
+		racks = 1
+	}
+	if mode != PlaceSpread || racks == 1 {
+		// Compact placement confines each group to one rack.
+		return s.Validate(serversPerRack)
+	}
+	if err := s.Validate(racks * serversPerRack); err != nil {
+		return err
+	}
+	minRacks := (s.Width() + s.M - 1) / s.M
+	if racks < minRacks {
+		return fmt.Errorf("ec: spread RS(%d,%d) needs >= %d racks to keep <= m chunks per rack, have %d",
+			s.K, s.M, minRacks, racks)
+	}
+	perRack := (s.Width() + racks - 1) / racks
+	if perRack > serversPerRack {
+		return fmt.Errorf("ec: spread RS(%d,%d) over %d racks places %d chunks in a rack, only %d servers there",
+			s.K, s.M, racks, perRack, serversPerRack)
+	}
+	return nil
+}
+
 func (s Spec) String() string { return fmt.Sprintf("RS(%d,%d)", s.K, s.M) }
 
 // GF(2^8) arithmetic with the AES polynomial 0x11d, via exp/log tables.

@@ -1,0 +1,77 @@
+package ec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzECRoundTrip drives the RS codec with fuzzer-chosen data, spec, and
+// erasure patterns: any <= m erasures must reconstruct the stripe
+// byte-exactly, and any > m erasures must be reported as
+// ErrStripeUnrecoverable rather than silently mis-decoded.
+func FuzzECRoundTrip(f *testing.F) {
+	f.Add(int64(1), []byte("rackblox stripes survive erasures"), uint8(4), uint8(2), uint8(2))
+	f.Add(int64(2), []byte{0x00, 0xFF, 0x11}, uint8(1), uint8(1), uint8(1))
+	f.Add(int64(3), []byte("beyond-m erasures must fail"), uint8(6), uint8(3), uint8(4))
+	f.Add(int64(4), []byte{}, uint8(2), uint8(4), uint8(6))
+	f.Fuzz(func(t *testing.T, seed int64, data []byte, kRaw, mRaw, eRaw uint8) {
+		k := int(kRaw)%8 + 1
+		m := int(mRaw)%4 + 1
+		spec := Spec{K: k, M: m}
+		codec, err := NewCodec(spec)
+		if err != nil {
+			t.Fatalf("NewCodec(%v): %v", spec, err)
+		}
+
+		// Shard the fuzz input into k equal data shards (>= 1 byte each).
+		shardLen := len(data)/k + 1
+		shards := make([][]byte, k+m)
+		orig := make([][]byte, k)
+		for i := 0; i < k; i++ {
+			sh := make([]byte, shardLen)
+			copy(sh, data[min(i*shardLen, len(data)):])
+			orig[i] = append([]byte(nil), sh...)
+			shards[i] = sh
+		}
+		parity, err := codec.Encode(shards[:k])
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		copy(shards[k:], parity)
+		origParity := make([][]byte, m)
+		for i, p := range parity {
+			origParity[i] = append([]byte(nil), p...)
+		}
+
+		// Erase a seed-chosen subset of 0..k+m shards.
+		erasures := int(eRaw) % (k + m + 1)
+		rng := rand.New(rand.NewSource(seed))
+		for _, idx := range rng.Perm(k + m)[:erasures] {
+			shards[idx] = nil
+		}
+
+		err = codec.Reconstruct(shards)
+		if erasures > m {
+			if !errors.Is(err, ErrStripeUnrecoverable) {
+				t.Fatalf("RS(%d,%d) with %d erasures: err = %v, want ErrStripeUnrecoverable",
+					k, m, erasures, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("RS(%d,%d) with %d erasures: %v", k, m, erasures, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("RS(%d,%d) data shard %d corrupted after reconstruction", k, m, i)
+			}
+		}
+		for i := 0; i < m; i++ {
+			if !bytes.Equal(shards[k+i], origParity[i]) {
+				t.Fatalf("RS(%d,%d) parity shard %d corrupted after reconstruction", k, m, i)
+			}
+		}
+	})
+}

@@ -45,26 +45,127 @@ func (s Striper) Holders(stripe int) []int {
 	return append(out, s.ParityHolders(stripe)...)
 }
 
-// Placer assigns the k+m chunk holders of each stripe group to distinct
-// storage servers. Groups rotate their starting server so load spreads
-// across the rack; within one group no two holders ever share a server —
-// the invariant that makes any single-server failure cost at most one
-// chunk per stripe.
-type Placer struct {
-	// Servers is the rack's storage-server count.
-	Servers int
-	// Width is the chunk count per stripe, k+m.
-	Width int
+// PlacementMode selects how a stripe group's chunk holders map onto the
+// cluster's rack fault domains.
+type PlacementMode int
+
+const (
+	// PlaceCompact confines each group to a single rack (distinct servers
+	// within it) — the original rack-aware placement. A whole-rack failure
+	// loses every chunk of the groups homed there.
+	PlaceCompact PlacementMode = iota
+	// PlaceSpread distributes each group's chunks round-robin across rack
+	// fault domains, never more than MaxPerRack chunks per rack, so losing
+	// an entire rack (or its ToR) still leaves >= k chunks of every stripe.
+	PlaceSpread
+)
+
+func (m PlacementMode) String() string {
+	if m == PlaceSpread {
+		return "spread"
+	}
+	return "compact"
 }
 
-// Place returns the server index hosting each of a group's Width chunk
-// holders. All returned servers are distinct (Width <= Servers is
-// enforced by Spec.Validate).
+// Placer assigns the k+m chunk holders of each stripe group to distinct
+// storage servers, optionally across multiple rack fault domains. Groups
+// rotate their starting server so load spreads; within one group no two
+// holders ever share a server — the invariant that makes any
+// single-server failure cost at most one chunk per stripe. Under
+// PlaceSpread no rack holds more than MaxPerRack chunks of a group, the
+// invariant that keeps a whole-rack failure recoverable.
+type Placer struct {
+	// Servers is the storage-server count per rack (the total count when
+	// Racks <= 1).
+	Servers int
+	// Racks is the number of rack fault domains; 0 or 1 means one rack.
+	Racks int
+	// Width is the chunk count per stripe, k+m.
+	Width int
+	// Mode selects compact (single-rack) or spread (multi-rack) placement.
+	Mode PlacementMode
+	// MaxPerRack caps chunks per rack under PlaceSpread; typically m.
+	MaxPerRack int
+}
+
+// racks normalizes the rack count.
+func (p Placer) racks() int {
+	if p.Racks < 1 {
+		return 1
+	}
+	return p.Racks
+}
+
+// TotalServers is the cluster-wide server count.
+func (p Placer) TotalServers() int { return p.racks() * p.Servers }
+
+// RackOf maps a global server index to its rack fault domain.
+func (p Placer) RackOf(server int) int { return server / p.Servers }
+
+// Place returns the global server index hosting each of a group's Width
+// chunk holders. All returned servers are distinct; under PlaceSpread no
+// rack receives more than MaxPerRack of them (validated by
+// Spec.ValidateCluster).
 func (p Placer) Place(group int) []int {
+	if p.Mode == PlaceSpread && p.racks() > 1 {
+		return p.placeSpread(group)
+	}
 	out := make([]int, p.Width)
-	start := (group * p.Width) % p.Servers
+	if p.racks() == 1 {
+		start := (group * p.Width) % p.Servers
+		for i := 0; i < p.Width; i++ {
+			out[i] = (start + i) % p.Servers
+		}
+		return out
+	}
+	// Compact on a multi-rack cluster: the whole group lives in one rack,
+	// groups rotating over racks and over in-rack starting servers.
+	rack := group % p.racks()
+	start := ((group / p.racks()) * p.Width) % p.Servers
 	for i := 0; i < p.Width; i++ {
-		out[i] = (start + i) % p.Servers
+		out[i] = rack*p.Servers + (start+i)%p.Servers
+	}
+	return out
+}
+
+// placeSpread assigns chunk i to rack (group+i) mod Racks, skipping
+// racks already at the MaxPerRack cap or out of servers (with the
+// validated racks >= ceil(width/cap) the round-robin never actually
+// hits either limit; the skip enforces the cap for direct Placer users
+// too). Within each rack, slots fill sequentially from a group-rotated
+// offset, so holders stay on distinct servers. If every rack is capped
+// the remaining chunks overflow round-robin onto racks with free
+// servers: a full placement with a violated cap beats a partial one.
+func (p Placer) placeSpread(group int) []int {
+	out := make([]int, p.Width)
+	slot := make([]int, p.racks())
+	rot := group % p.Servers
+	place := func(i, rack int) {
+		out[i] = rack*p.Servers + (rot+slot[rack])%p.Servers
+		slot[rack]++
+	}
+	for i := 0; i < p.Width; i++ {
+		rack := (group + i) % p.racks()
+		placed := false
+		for d := 0; d < p.racks(); d++ {
+			c := (rack + d) % p.racks()
+			if slot[c] >= p.Servers || (p.MaxPerRack > 0 && slot[c] >= p.MaxPerRack) {
+				continue
+			}
+			place(i, c)
+			placed = true
+			break
+		}
+		if placed {
+			continue
+		}
+		for d := 0; d < p.racks(); d++ { // all capped: ignore MaxPerRack
+			c := (rack + d) % p.racks()
+			if slot[c] < p.Servers {
+				place(i, c)
+				break
+			}
+		}
 	}
 	return out
 }

@@ -55,6 +55,104 @@ func TestPlacementProperty(t *testing.T) {
 	}
 }
 
+// TestSpreadPlacementProperty asserts the multi-rack invariants for
+// every (k, m, racks, servers/rack) combination the cluster validator
+// accepts in a bounded envelope: no server holds more than one chunk of
+// a group, no rack holds more than m, and any single whole-rack failure
+// leaves at least k chunks of every stripe healthy.
+func TestSpreadPlacementProperty(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		for m := 1; m <= 4; m++ {
+			for racks := 2; racks <= 6; racks++ {
+				for servers := 2; servers <= 8; servers++ {
+					spec := Spec{K: k, M: m}
+					if err := spec.ValidateCluster(racks, servers, PlaceSpread); err != nil {
+						continue // validator rejects; nothing to place
+					}
+					placer := Placer{Servers: servers, Racks: racks,
+						Width: spec.Width(), Mode: PlaceSpread, MaxPerRack: m}
+					for group := 0; group < 3*racks*servers; group++ {
+						holderServer := placer.Place(group)
+						if len(holderServer) != spec.Width() {
+							t.Fatalf("RS(%d,%d)/%dx%d: placement width %d",
+								k, m, racks, servers, len(holderServer))
+						}
+						seenSrv := make(map[int]bool)
+						perRack := make(map[int]int)
+						for _, srv := range holderServer {
+							if srv < 0 || srv >= placer.TotalServers() {
+								t.Fatalf("RS(%d,%d)/%dx%d: server %d out of range",
+									k, m, racks, servers, srv)
+							}
+							if seenSrv[srv] {
+								t.Fatalf("RS(%d,%d)/%dx%d group %d: two holders share server %d",
+									k, m, racks, servers, group, srv)
+							}
+							seenSrv[srv] = true
+							perRack[placer.RackOf(srv)]++
+						}
+						for rack, n := range perRack {
+							if n > m {
+								t.Fatalf("RS(%d,%d)/%dx%d group %d: rack %d holds %d chunks > m",
+									k, m, racks, servers, group, rack, n)
+							}
+						}
+						// Any single-rack failure must leave >= k healthy
+						// chunks of every stripe (each holder stores one
+						// chunk of each).
+						for rack := 0; rack < racks; rack++ {
+							if spec.Width()-perRack[rack] < k {
+								t.Fatalf("RS(%d,%d)/%dx%d group %d: losing rack %d leaves %d < k chunks",
+									k, m, racks, servers, group, rack, spec.Width()-perRack[rack])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompactClusterPlacementStaysInOneRack pins the compact mode's
+// defining property on a multi-rack cluster: every group is confined to
+// a single rack, on distinct servers.
+func TestCompactClusterPlacementStaysInOneRack(t *testing.T) {
+	placer := Placer{Servers: 6, Racks: 3, Width: 6, Mode: PlaceCompact}
+	for group := 0; group < 18; group++ {
+		servers := placer.Place(group)
+		seen := make(map[int]bool)
+		for _, srv := range servers {
+			if placer.RackOf(srv) != placer.RackOf(servers[0]) {
+				t.Fatalf("group %d spans racks: %v", group, servers)
+			}
+			if seen[srv] {
+				t.Fatalf("group %d reuses server %d", group, srv)
+			}
+			seen[srv] = true
+		}
+	}
+}
+
+// TestSpreadValidatorRejectsUnderProvisionedClusters pins the validator
+// boundary: too few racks for the per-rack cap, or too few servers per
+// rack for the round-robin share.
+func TestSpreadValidatorRejectsUnderProvisionedClusters(t *testing.T) {
+	spec := Spec{K: 4, M: 2}
+	if err := spec.ValidateCluster(2, 8, PlaceSpread); err == nil {
+		t.Fatal("2 racks accepted for RS(4,2) spread; a rack would hold 3 > m chunks")
+	}
+	if err := spec.ValidateCluster(6, 1, PlaceSpread); err != nil {
+		t.Fatalf("6x1 rejected: %v", err)
+	}
+	if err := spec.ValidateCluster(3, 2, PlaceSpread); err != nil {
+		t.Fatalf("3x2 rejected: %v", err)
+	}
+	// Compact mode on one rack must keep the original rule: k+m servers.
+	if err := spec.ValidateCluster(1, 5, PlaceCompact); err == nil {
+		t.Fatal("5 servers accepted for width-6 compact placement")
+	}
+}
+
 // TestStriperRoundTrip checks the lpn <-> (stripe, pos) bijection and the
 // data-holder rotation.
 func TestStriperRoundTrip(t *testing.T) {

@@ -684,6 +684,86 @@ func FigEC(scale Scale) *Table {
 	return t
 }
 
+// Options tunes the cluster-shaped experiments from the command line
+// (cmd/rackbench -racks / -crossbw); zero fields keep each experiment's
+// defaults.
+type Options struct {
+	// Racks overrides the rack fault-domain count.
+	Racks int
+	// CrossBWMBps overrides the spine/aggregation link bandwidth in MB/s.
+	CrossBWMBps float64
+}
+
+// FigMR compares single-rack (compact) against multi-rack (spread)
+// RS(4,2) placement on the same cluster — three racks of six servers
+// under a spine link — healthy and under a whole-rack failure. Compact
+// placement confines each stripe to one rack: the rack crash erases
+// whole groups (lost reads, unrecoverable stripes). Spread placement
+// caps every rack at m chunks per stripe, so the same crash leaves every
+// stripe >= k chunks: reads complete degraded, and the repair traffic
+// that rebuilds the lost chunks is metered on the finite cross-rack
+// link (cross_repair_mb, bounded by the configured bandwidth;
+// spine_util is the link's busy fraction). Spread RS(4,2) needs at
+// least ceil((k+m)/m) = 3 fault domains, so Options.Racks values below
+// 3 are raised to 3.
+func FigMR(scale Scale, opt Options) *Table {
+	t := &Table{ID: "FigMR",
+		Title: "Single-rack vs multi-rack RS(4,2) placement under rack failure",
+		Cols: []string{"p99_ms", "kiops", "degraded", "lost_reads",
+			"unrecov_stripes", "cross_repair_mb", "spine_util", "handoffs"}}
+	racks := opt.Racks
+	if racks < 3 {
+		racks = 3 // spread RS(4,2) needs ceil((k+m)/m) = 3 fault domains
+	}
+	crossBW := opt.CrossBWMBps
+	if crossBW <= 0 {
+		crossBW = 200
+	}
+	placements := []struct {
+		series string
+		mode   core.PlacementMode
+	}{
+		{"single-rack (compact)", core.PlacementCompact},
+		{"multi-rack (spread)", core.PlacementSpread},
+	}
+	for _, sc := range []struct {
+		name     string
+		failRack bool
+	}{{"healthy", false}, {"rack 0 crash", true}} {
+		for _, pl := range placements {
+			cfg := baseConfig(scale)
+			cfg.System = core.RackBlox
+			cfg.Racks = racks
+			cfg.StorageServers = 6 // compact needs k+m servers in one rack
+			cfg.VSSDPairs = 3
+			cfg.Redundancy = core.ErasureCode(4, 2)
+			cfg.Placement = pl.mode
+			cfg.CrossRackMBps = crossBW
+			if sc.failRack {
+				cfg.FailRackIndex = 0
+				cfg.FailServerAt = cfg.Warmup + cfg.Duration/4
+			}
+			res, err := core.Run(cfg)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %v", err))
+			}
+			reads := res.Recorder.Reads()
+			t.Rows = append(t.Rows, Row{Series: pl.series, X: sc.name,
+				Values: map[string]float64{
+					"p99_ms":          ms(reads.P99()),
+					"kiops":           res.Recorder.Throughput() / 1000,
+					"degraded":        float64(res.DegradedReads),
+					"lost_reads":      float64(res.LostReads),
+					"unrecov_stripes": float64(res.UnrecoverableStripes),
+					"cross_repair_mb": float64(res.CrossRackRepairBytes) / 1e6,
+					"spine_util":      res.SpineUtilization,
+					"handoffs":        float64(res.Switch.Handoffs),
+				}})
+		}
+	}
+	return t
+}
+
 // RedundancySummary runs one YCSB 50/50 benchmark with the chosen
 // redundancy backend on a six-server rack and tabulates the headline
 // metrics (cmd/rackbench's -redundancy flag).
@@ -722,12 +802,17 @@ func All() []string {
 	return []string{
 		"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-		"fig22", "fig23", "predictor", "gcablation", "figec",
+		"fig22", "fig23", "predictor", "gcablation", "figec", "figmr",
 	}
 }
 
-// ByID runs an experiment by its id, returning its tables.
+// ByID runs an experiment by its id with default options.
 func ByID(id string, scale Scale) ([]*Table, error) {
+	return ByIDWith(id, scale, Options{})
+}
+
+// ByIDWith runs an experiment by its id, returning its tables.
+func ByIDWith(id string, scale Scale, opt Options) ([]*Table, error) {
 	switch id {
 	case "table2":
 		return []*Table{Table2()}, nil
@@ -767,6 +852,8 @@ func ByID(id string, scale Scale) ([]*Table, error) {
 		return []*Table{GCAblation(scale)}, nil
 	case "figec":
 		return []*Table{FigEC(scale)}, nil
+	case "figmr":
+		return []*Table{FigMR(scale, opt)}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }

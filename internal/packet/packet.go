@@ -118,6 +118,10 @@ type Packet struct {
 	LPN uint32
 	// Seq is a client-assigned request id echoed in responses.
 	Seq uint64
+	// Handoffs counts inter-switch stripe handoffs this packet has taken
+	// (multi-rack degraded routing); a one-byte TTL against ping-pong
+	// between ToRs that both lack a healthy local member.
+	Handoffs uint8
 }
 
 // AddLatency accumulates per-hop latency (ns) into the INT field,
@@ -134,7 +138,7 @@ func (p *Packet) AddLatency(ns int64) {
 func (p *Packet) LatencyNS() int64 { return int64(p.LatUS) * 1000 }
 
 // wireSize is the encoded length: header + fixed payload block.
-const wireSize = 4 + 4 + 2 + HeaderSize + 1 + 4 + 4 + 4 + 8
+const wireSize = 4 + 4 + 2 + HeaderSize + 1 + 4 + 4 + 4 + 8 + 1
 
 // ErrShortPacket reports a truncated encoding.
 var ErrShortPacket = errors.New("packet: buffer too short")
@@ -157,6 +161,7 @@ func (p *Packet) Marshal() []byte {
 	binary.BigEndian.PutUint32(b[24:], p.ReplicaIP)
 	binary.BigEndian.PutUint32(b[28:], p.LPN)
 	binary.BigEndian.PutUint64(b[32:], p.Seq)
+	b[40] = p.Handoffs
 	return b
 }
 
@@ -177,6 +182,7 @@ func Unmarshal(b []byte) (Packet, error) {
 		ReplicaIP:   binary.BigEndian.Uint32(b[24:]),
 		LPN:         binary.BigEndian.Uint32(b[28:]),
 		Seq:         binary.BigEndian.Uint64(b[32:]),
+		Handoffs:    b[40],
 	}
 	if p.Op < OpCreateVSSD || p.Op > OpResponse {
 		return Packet{}, fmt.Errorf("%w: %d", ErrBadOp, b[10])

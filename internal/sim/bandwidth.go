@@ -1,0 +1,45 @@
+package sim
+
+// Bandwidth models a shared link of fixed capacity (the cluster's
+// spine/aggregation uplink): transfers serialize FIFO on an underlying
+// Resource, each occupying the link for bytes/rate. Because the link is a
+// serial resource, the achieved throughput can never exceed the configured
+// rate — the property the cross-rack repair experiments rely on.
+type Bandwidth struct {
+	res         *Resource
+	bytesPerSec float64
+	bytes       int64
+}
+
+// NewBandwidth returns an idle link moving bytesPerSec bytes per second.
+func NewBandwidth(eng *Engine, bytesPerSec float64) *Bandwidth {
+	if bytesPerSec <= 0 {
+		panic("sim: bandwidth must be positive")
+	}
+	return &Bandwidth{res: NewResource(eng), bytesPerSec: bytesPerSec}
+}
+
+// TransferTime converts a byte count into link occupancy.
+func (b *Bandwidth) TransferTime(bytes int64) Time {
+	if bytes <= 0 {
+		return 0
+	}
+	return Time(float64(bytes) / b.bytesPerSec * float64(Second))
+}
+
+// Transfer reserves the link for bytes and calls done(start, end) when the
+// last byte clears it; done may be nil. Waiting behind earlier transfers
+// is implicit in the returned start time.
+func (b *Bandwidth) Transfer(bytes int64, done func(start, end Time)) (start, end Time) {
+	b.bytes += bytes
+	return b.res.Acquire(b.TransferTime(bytes), done)
+}
+
+// Bytes returns the total bytes ever offered to the link.
+func (b *Bandwidth) Bytes() int64 { return b.bytes }
+
+// BytesPerSec returns the configured capacity.
+func (b *Bandwidth) BytesPerSec() float64 { return b.bytesPerSec }
+
+// Utilization returns cumulative busy time over elapsed time, <= 1.
+func (b *Bandwidth) Utilization() float64 { return b.res.Utilization() }

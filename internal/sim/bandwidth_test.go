@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+func TestBandwidthTransferTime(t *testing.T) {
+	eng := NewEngine()
+	bw := NewBandwidth(eng, 100e6) // 100 MB/s
+	if got := bw.TransferTime(100e6); got != Second {
+		t.Fatalf("100MB at 100MB/s = %d ns, want 1s", got)
+	}
+	if got := bw.TransferTime(0); got != 0 {
+		t.Fatalf("zero bytes took %d ns", got)
+	}
+}
+
+func TestBandwidthSerializesTransfers(t *testing.T) {
+	eng := NewEngine()
+	bw := NewBandwidth(eng, 1e6) // 1 MB/s => 1 byte/us
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		bw.Transfer(1000, func(_, end Time) { ends = append(ends, end) })
+	}
+	eng.Run()
+	// Three 1ms transfers serialize: ends at 1, 2, 3 ms.
+	want := []Time{Millisecond, 2 * Millisecond, 3 * Millisecond}
+	if len(ends) != 3 {
+		t.Fatalf("%d completions", len(ends))
+	}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Fatalf("transfer %d ended at %d, want %d", i, ends[i], w)
+		}
+	}
+	if bw.Bytes() != 3000 {
+		t.Fatalf("Bytes = %d", bw.Bytes())
+	}
+	// The link was busy the whole 3ms: utilization 1.
+	if u := bw.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %f", u)
+	}
+}
+
+func TestBandwidthRejectsNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-rate link accepted")
+		}
+	}()
+	NewBandwidth(NewEngine(), 0)
+}

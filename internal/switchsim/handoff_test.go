@@ -1,0 +1,158 @@
+package switchsim
+
+import (
+	"testing"
+
+	"rackblox/internal/packet"
+	"rackblox/internal/sim"
+)
+
+// twoRackHarness registers a 4-member stripe group split over two ToRs
+// (members 0,1 in rack 0; members 2,3 in rack 1) with a direct handoff
+// channel between them.
+type twoRackHarness struct {
+	eng   *sim.Engine
+	tors  [2]*Switch
+	out   [2][]packet.Packet
+	ids   []uint32
+	hosts []uint32
+}
+
+func newTwoRackHarness(t *testing.T) *twoRackHarness {
+	t.Helper()
+	h := &twoRackHarness{eng: sim.NewEngine()}
+	for j := 0; j < 2; j++ {
+		j := j
+		h.tors[j] = New(h.eng, nil, func(p packet.Packet) { h.out[j] = append(h.out[j], p) })
+	}
+	for j := 0; j < 2; j++ {
+		h.tors[j].ConfigureRack(j, func(pkt packet.Packet, rack int) {
+			h.tors[rack].Process(pkt)
+		})
+	}
+	racks := []int{0, 0, 1, 1}
+	for i := 0; i < 4; i++ {
+		h.ids = append(h.ids, uint32(300+i))
+		h.hosts = append(h.hosts, uint32(0x0A000030+i))
+	}
+	for i, id := range h.ids {
+		// Each member registers with its own rack's ToR; the replica hint
+		// points at the rack-local neighbor.
+		peer := i ^ 1
+		h.tors[racks[i]].Process(packet.Packet{
+			Op: packet.OpCreateVSSD, VSSD: id, SrcIP: h.hosts[i],
+			ReplicaVSSD: h.ids[peer], ReplicaIP: h.hosts[peer],
+		})
+	}
+	for j := 0; j < 2; j++ {
+		h.tors[j].RegisterStripeMembers(h.ids, racks)
+	}
+	h.eng.Run()
+	return h
+}
+
+func (h *twoRackHarness) send(j int, p packet.Packet) {
+	h.out[0], h.out[1] = nil, nil
+	h.tors[j].Process(p)
+	h.eng.Run()
+}
+
+func TestECReadStaysRackLocalWhenPossible(t *testing.T) {
+	h := newTwoRackHarness(t)
+	// Member 0 collects; member 1 (same rack) must absorb the read with
+	// no handoff — rack-local-first routing.
+	h.send(0, packet.Packet{Op: packet.OpGC, GC: packet.GCRegular, VSSD: h.ids[0], SrcIP: h.hosts[0]})
+	h.send(0, packet.Packet{Op: packet.OpRead, VSSD: h.ids[0], DstIP: h.hosts[0], LPN: 4})
+	if len(h.out[0]) != 1 || h.out[0][0].VSSD != h.ids[1] {
+		t.Fatalf("read not absorbed rack-locally: %+v", h.out[0])
+	}
+	if h.tors[0].Stats().Handoffs != 0 {
+		t.Fatal("rack-local degraded read took a handoff")
+	}
+}
+
+func TestECReadHandsOffWhenRackExhausted(t *testing.T) {
+	h := newTwoRackHarness(t)
+	// Both rack-0 members fail over: the read must cross to rack 1's ToR
+	// and come out addressed to one of its members.
+	h.tors[0].Failover(h.ids[0], h.ids[2])
+	h.tors[0].Failover(h.ids[1], h.ids[2])
+	h.send(0, packet.Packet{Op: packet.OpRead, VSSD: h.ids[0], DstIP: h.hosts[0], LPN: 7})
+	if len(h.out[0]) != 0 {
+		t.Fatalf("dead rack still forwarded: %+v", h.out[0])
+	}
+	if len(h.out[1]) != 1 {
+		t.Fatalf("rack 1 forwarded %d packets, want 1", len(h.out[1]))
+	}
+	got := h.out[1][0]
+	if got.VSSD != h.ids[2] && got.VSSD != h.ids[3] {
+		t.Fatalf("handoff routed to %d, want a rack-1 member", got.VSSD)
+	}
+	if got.Handoffs != 1 {
+		t.Fatalf("packet handoff count = %d, want 1", got.Handoffs)
+	}
+	if h.tors[0].Stats().Handoffs != 1 {
+		t.Fatalf("ToR 0 Handoffs = %d, want 1", h.tors[0].Stats().Handoffs)
+	}
+}
+
+func TestHandoffSkipsRemoteDeadMembers(t *testing.T) {
+	h := newTwoRackHarness(t)
+	h.tors[0].Failover(h.ids[0], h.ids[2])
+	h.tors[0].Failover(h.ids[1], h.ids[2])
+	// Rack 1's members are reported dead too: nothing to hand off to, so
+	// the failover table gets the last word at ToR 0.
+	h.tors[0].MarkRemoteDead(h.ids[2])
+	h.tors[0].MarkRemoteDead(h.ids[3])
+	h.send(0, packet.Packet{Op: packet.OpRead, VSSD: h.ids[0], DstIP: h.hosts[0], LPN: 3})
+	if h.tors[0].Stats().Handoffs != 0 {
+		t.Fatal("handed off toward members marked dead")
+	}
+	if len(h.out[0]) != 1 {
+		t.Fatalf("rack 0 forwarded %d packets, want failover fallback", len(h.out[0]))
+	}
+}
+
+func TestHandoffTTLStopsPingPong(t *testing.T) {
+	h := newTwoRackHarness(t)
+	// Every member everywhere fails over; neither ToR has a healthy local
+	// member, and neither marks the other rack dead. The TTL must cut the
+	// ToR-to-ToR loop.
+	for j := 0; j < 2; j++ {
+		for _, id := range h.ids {
+			h.tors[j].Failover(id, id)
+		}
+	}
+	h.send(0, packet.Packet{Op: packet.OpRead, VSSD: h.ids[0], DstIP: h.hosts[0], LPN: 1})
+	total := h.tors[0].Stats().Handoffs + h.tors[1].Stats().Handoffs
+	if total > int64(maxHandoffs) {
+		t.Fatalf("packet bounced %d times between ToRs, TTL is %d", total, maxHandoffs)
+	}
+}
+
+func TestDownToRDropsEverything(t *testing.T) {
+	h := newTwoRackHarness(t)
+	h.tors[0].SetDown(true)
+	before := h.tors[0].Stats().Dropped
+	h.send(0, packet.Packet{Op: packet.OpRead, VSSD: h.ids[0], DstIP: h.hosts[0], LPN: 2})
+	if len(h.out[0]) != 0 {
+		t.Fatalf("down ToR forwarded: %+v", h.out[0])
+	}
+	if h.tors[0].Stats().Dropped != before+1 {
+		t.Fatal("down ToR did not count the drop")
+	}
+	h.tors[0].SetDown(false)
+	h.send(0, packet.Packet{Op: packet.OpRead, VSSD: h.ids[0], DstIP: h.hosts[0], LPN: 2})
+	if len(h.out[0]) != 1 {
+		t.Fatal("repaired ToR still dark")
+	}
+}
+
+func TestStatsAddAggregates(t *testing.T) {
+	a := Stats{Forwarded: 2, Handoffs: 1, Dropped: 3}
+	b := Stats{Forwarded: 5, DegradedRedirects: 4}
+	a.Add(b)
+	if a.Forwarded != 7 || a.Handoffs != 1 || a.Dropped != 3 || a.DegradedRedirects != 4 {
+		t.Fatalf("aggregate = %+v", a)
+	}
+}

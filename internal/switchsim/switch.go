@@ -30,6 +30,14 @@ type destEntry struct {
 // rack composition supplies it and charges the ToR->host hop latency.
 type Forwarder func(pkt packet.Packet)
 
+// Handoff carries a packet to another rack's ToR switch over the cluster
+// spine (multi-rack stripe routing); the cluster composition supplies it
+// and charges the cross-rack latency.
+type Handoff func(pkt packet.Packet, rack int)
+
+// maxHandoffs bounds how many ToR-to-ToR hops one packet may take.
+const maxHandoffs = 2
+
 // Stats counts data-plane events for the evaluation.
 type Stats struct {
 	Forwarded      int64
@@ -43,6 +51,23 @@ type Stats struct {
 	// DegradedRedirects counts reads routed away from a collecting or
 	// failed erasure-coded chunk holder to a surviving group member.
 	DegradedRedirects int64
+	// Handoffs counts reads passed to another rack's ToR because no local
+	// stripe member could serve them (multi-rack degraded routing).
+	Handoffs int64
+}
+
+// Add accumulates another switch's counters (cluster-wide totals).
+func (s *Stats) Add(o Stats) {
+	s.Forwarded += o.Forwarded
+	s.Redirected += o.Redirected
+	s.FailedOver += o.FailedOver
+	s.GCAccepted += o.GCAccepted
+	s.GCDelayed += o.GCDelayed
+	s.GCFinished += o.GCFinished
+	s.Recirculations += o.Recirculations
+	s.Dropped += o.Dropped
+	s.DegradedRedirects += o.DegradedRedirects
+	s.Handoffs += o.Handoffs
 }
 
 // Switch is the programmable ToR switch.
@@ -57,7 +82,20 @@ type Switch struct {
 	// (k data + m parity holders, in group order). Reads for a collecting
 	// or failed member are routed to a surviving member, which coordinates
 	// the degraded reconstruction itself.
-	stripe  map[uint32][]uint32
+	stripe map[uint32][]uint32
+	// Multi-rack state: this ToR's rack id, the rack of every stripe
+	// member it knows about (its per-rack stripe table), members of other
+	// racks reported dead by the control plane, and the handoff path to
+	// sibling ToRs. A member whose rack differs from rackID is never
+	// routed by IP from here — its GC state lives on its own ToR — it is
+	// reached only through a handoff.
+	rackID     int
+	memberRack map[uint32]int
+	remoteDead map[uint32]bool
+	handoff    Handoff
+	// down marks a failed ToR: it drops every packet until repaired.
+	down bool
+
 	qdisc   Qdisc
 	forward Forwarder
 	stats   Stats
@@ -86,12 +124,31 @@ func New(eng *sim.Engine, q Qdisc, fwd Forwarder) *Switch {
 		dest:               make(map[uint32]*destEntry),
 		failover:           make(map[uint32]uint32),
 		stripe:             make(map[uint32][]uint32),
+		memberRack:         make(map[uint32]int),
+		remoteDead:         make(map[uint32]bool),
 		qdisc:              q,
 		forward:            fwd,
 		PipelineLatency:    800 * sim.Nanosecond,
 		RecirculateLatency: 800 * sim.Nanosecond,
 	}
 }
+
+// ConfigureRack assigns the switch its rack id and the handoff path to
+// sibling ToRs (multi-rack clusters).
+func (s *Switch) ConfigureRack(id int, handoff Handoff) {
+	s.rackID = id
+	s.handoff = handoff
+}
+
+// RackID returns the configured rack id.
+func (s *Switch) RackID() int { return s.rackID }
+
+// SetDown marks the ToR failed (true) or repaired (false); a failed ToR
+// drops every packet, isolating its rack from the cluster.
+func (s *Switch) SetDown(down bool) { s.down = down }
+
+// Down reports whether the ToR is failed.
+func (s *Switch) Down() bool { return s.down }
 
 // Stats returns a copy of the event counters.
 func (s *Switch) Stats() Stats { return s.stats }
@@ -143,11 +200,42 @@ func (s *Switch) DestIP(vssd uint32) (uint32, bool) {
 // RegisterStripe records an erasure-coded stripe group (control plane,
 // like Failover): every member's reads become eligible for degraded
 // routing to the surviving members. Members must already be registered
-// in the destination table via create_vssd.
+// in the destination table via create_vssd. All members are taken to be
+// local to this ToR's rack; multi-rack groups use RegisterStripeMembers.
 func (s *Switch) RegisterStripe(group []uint32) {
+	racks := make([]int, len(group))
+	for i := range racks {
+		racks[i] = s.rackID
+	}
+	s.RegisterStripeMembers(group, racks)
+}
+
+// RegisterStripeMembers records a stripe group whose members span racks:
+// racks[i] is member i's rack. Local members route by IP; remote members
+// are reachable only through an inter-switch handoff, since their GC and
+// failure state lives on their own ToR.
+func (s *Switch) RegisterStripeMembers(group []uint32, racks []int) {
+	if len(group) != len(racks) {
+		panic("switchsim: stripe group and rack list lengths differ")
+	}
 	g := append([]uint32(nil), group...)
-	for _, id := range g {
+	for i, id := range g {
 		s.stripe[id] = g
+		s.memberRack[id] = racks[i]
+	}
+}
+
+// MarkRemoteDead records that a stripe member homed in another rack has
+// failed (control-plane propagation from its own ToR's failover), so
+// degraded reads stop handing off toward it.
+func (s *Switch) MarkRemoteDead(id uint32) { s.remoteDead[id] = true }
+
+// RegisterDest installs a destination-table row directly (control
+// plane): the failover path uses it so a rewrite target living under
+// another ToR still resolves to an IP here.
+func (s *Switch) RegisterDest(vssd uint32, ip uint32) {
+	if _, ok := s.dest[vssd]; !ok {
+		s.dest[vssd] = &destEntry{ip: ip}
 	}
 }
 
@@ -157,9 +245,17 @@ func (s *Switch) StripeGroup(vssd uint32) ([]uint32, bool) {
 	return g, ok
 }
 
-// chunkHealthy reports whether a chunk holder can serve reads now: it
-// must be registered, not failed over, and not collecting garbage.
+// local reports whether a stripe member is homed under this ToR.
+func (s *Switch) local(id uint32) bool { return s.memberRack[id] == s.rackID }
+
+// chunkHealthy reports whether a local chunk holder can serve reads now:
+// it must be registered, not failed over, and not collecting garbage.
+// Members of other racks are never "healthy" here — their state lives on
+// their own ToR and reads reach them through a handoff instead.
 func (s *Switch) chunkHealthy(id uint32) bool {
+	if !s.local(id) {
+		return false
+	}
 	if _, dead := s.failover[id]; dead {
 		return false
 	}
@@ -167,14 +263,19 @@ func (s *Switch) chunkHealthy(id uint32) bool {
 	return ok && !de.gc
 }
 
-// routeECRead steers a read for an erasure-coded chunk holder: healthy
-// targets keep their traffic, otherwise the read goes to a surviving
-// group member (scan offset rotates with the LPN so degraded traffic
-// spreads over the group), which reconstructs from any k chunks. If no
-// member is healthy the failover table gets the last word.
-func (s *Switch) routeECRead(pkt *packet.Packet, group []uint32) {
+// routeECRead steers a read for an erasure-coded chunk holder, rack-local
+// first: healthy local targets keep their traffic; otherwise the read
+// goes to a surviving local group member (scan offset rotates with the
+// LPN so degraded traffic spreads over the group), which reconstructs
+// from any k chunks. Only when no local member can serve does the read
+// spill onto the spine: a handoff to the ToR of the next rack holding a
+// live member. If nothing is reachable the failover table gets the last
+// word. Returns false when the packet left via a handoff; the caller's
+// dwell is charged here in that case, since the packet still crossed
+// this switch's pipeline and egress queue on its way out.
+func (s *Switch) routeECRead(pkt *packet.Packet, group []uint32, dwell sim.Time) bool {
 	if s.chunkHealthy(pkt.VSSD) {
-		return
+		return true
 	}
 	n := len(group)
 	start := int(pkt.LPN) % n
@@ -187,9 +288,23 @@ func (s *Switch) routeECRead(pkt *packet.Packet, group []uint32) {
 		pkt.DstIP = s.dest[id].ip
 		s.stats.Redirected++
 		s.stats.DegradedRedirects++
-		return
+		return true
+	}
+	if s.handoff != nil && pkt.Handoffs < maxHandoffs {
+		for i := 0; i < n; i++ {
+			id := group[(start+i)%n]
+			if s.local(id) || s.remoteDead[id] {
+				continue
+			}
+			pkt.Handoffs++
+			s.stats.Handoffs++
+			pkt.AddLatency(dwell)
+			s.handoff(*pkt, s.memberRack[id])
+			return false
+		}
 	}
 	s.applyFailover(pkt)
+	return true
 }
 
 // Process handles one packet arriving at the switch at the current virtual
@@ -197,6 +312,10 @@ func (s *Switch) routeECRead(pkt *packet.Packet, group []uint32) {
 // match-action logic, and leaves via the Forwarder with its INT latency
 // updated by the full in-switch dwell time.
 func (s *Switch) Process(pkt packet.Packet) {
+	if s.down {
+		s.stats.Dropped++ // failed ToR: the rack is dark
+		return
+	}
 	now := s.eng.Now()
 	release := s.qdisc.Admit(pkt, now)
 	if release < now {
@@ -253,9 +372,10 @@ func (s *Switch) handleCreate(pkt packet.Packet) {
 // surviving group.
 func (s *Switch) handleRead(pkt packet.Packet, dwell sim.Time) {
 	if group, ok := s.stripe[pkt.VSSD]; ok {
-		s.routeECRead(&pkt, group)
-		pkt.AddLatency(dwell)
-		s.emit(pkt)
+		if s.routeECRead(&pkt, group, dwell) {
+			pkt.AddLatency(dwell)
+			s.emit(pkt)
+		}
 		return
 	}
 	s.applyFailover(&pkt)
@@ -295,8 +415,11 @@ func (s *Switch) handleGC(pkt packet.Packet, dwell sim.Time) {
 			// reads always find k survivors. Failed-over members are
 			// skipped — a ghost GC bit left by a crashed holder must not
 			// block the survivors' soft GC forever.
+			// Only local members are consulted: a remote member's GC bit
+			// lives on its own ToR (the per-rack stripe table's blind
+			// spot, one cost of the multi-rack design point).
 			for _, id := range group {
-				if id == pkt.VSSD {
+				if id == pkt.VSSD || !s.local(id) {
 					continue
 				}
 				if _, dead := s.failover[id]; dead {

@@ -27,6 +27,32 @@
 // GC idle windows. The replication-vs-EC comparison is Experiment
 // ("figec", ...), and the RS codec itself is exported as ECCodec.
 //
+// # Multi-rack clusters
+//
+// Setting Config.Racks > 1 composes that many rack fault domains under a
+// simulated spine/aggregation link (the Cluster topology layer): every
+// rack gets its own ToR switch, cross-rack packets pay
+// Config.CrossRackLatency, and bulk repair traffic is metered on a
+// shared link of Config.CrossRackMBps — transfers serialize, so repair
+// throughput can never exceed the configured cross-rack bandwidth, which
+// Result.CrossRackRepairBytes and Result.SpineUtilization expose as
+// first-class measurements. Config.Placement then chooses how
+// erasure-coded stripes map onto the fault domains: PlacementCompact
+// confines each stripe group to one rack (the original layout), while
+// PlacementSpread distributes every stripe across racks with at most m
+// chunks per rack, so a whole-rack or ToR failure leaves every stripe
+// recoverable. Degraded reads and chunk repair select sources
+// rack-local-first and spill onto the metered spine only when a rack
+// cannot supply k survivors; reads whose entire home rack is dark are
+// handed between ToR switches (per-rack stripe tables with inter-switch
+// handoff). Failures inject at three scopes: Config.FailServers
+// (validated against duplicates and out-of-range indices with a typed
+// *core.FailureSpecError), Config.FailRackIndex (a whole-rack crash),
+// and Config.FailToRIndex (a dark switch: servers alive, rack
+// unreachable, no data lost). The compact-vs-spread comparison under
+// rack failure is Experiment("figmr", ...), also reachable as
+// rackbench -exp figmr with -racks and -crossbw flags.
+//
 // Quick start:
 //
 //	cfg := rackblox.DefaultConfig()
@@ -106,6 +132,23 @@ func RedundancyReplication() RedundancySpec { return core.Replication() }
 // RedundancyEC stripes every volume RS(k,m) over k+m servers: reads of a
 // failed or collecting chunk holder reconstruct from any k survivors.
 func RedundancyEC(k, m int) RedundancySpec { return core.ErasureCode(k, m) }
+
+// PlacementMode selects how erasure-coded stripes map onto the cluster's
+// rack fault domains (Config.Placement) when Config.Racks > 1.
+type PlacementMode = core.PlacementMode
+
+// Placement modes: compact confines each stripe group to one rack;
+// spread caps every rack at m chunks per stripe so a whole-rack failure
+// stays recoverable.
+const (
+	PlacementCompact = core.PlacementCompact
+	PlacementSpread  = core.PlacementSpread
+)
+
+// FailureSpecError is the typed validation error for failure-injection
+// configuration (duplicate or out-of-range FailServers entries, bad rack
+// or ToR indices).
+type FailureSpecError = core.FailureSpecError
 
 // ECSpec is the RS(k,m) parameterization of the erasure-coding subsystem.
 type ECSpec = ec.Spec

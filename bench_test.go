@@ -150,6 +150,17 @@ func BenchmarkGCAblation(b *testing.B) {
 	runExperiment(b, "gcablation", "value")
 }
 
+// BenchmarkDegradedReadPostRepair regenerates figrl, the recovery
+// lifecycle sweep (fail -> repair -> re-integrate -> revive), and
+// reports each phase's read latency relative to the healthy baseline.
+// The regression guard is the vs_healthy series: post-repair and
+// post-revival phases must stay near 1.0x (the 1.1x ceiling is asserted
+// by TestFigRLLifecycleClosesLoop in internal/experiments), while the
+// degraded and dark phases document the cost the lifecycle removes.
+func BenchmarkDegradedReadPostRepair(b *testing.B) {
+	runExperiment(b, "figrl", "vs_healthy")
+}
+
 // BenchmarkSingleRackRun is the microbenchmark of one end-to-end rack run,
 // useful for profiling the simulator itself.
 func BenchmarkSingleRackRun(b *testing.B) {

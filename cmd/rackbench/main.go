@@ -9,15 +9,20 @@
 //	rackbench -redundancy rs4,2 -scale 0.5
 //	rackbench -exp figec -json auto
 //	rackbench -exp figmr -racks 4 -crossbw 100 -json auto
+//	rackbench -exp figrl -json auto
 //
 // Scale < 1 shrinks the measured window proportionally (useful for quick
 // looks); 1.0 reproduces the full-length runs recorded in EXPERIMENTS.md.
 //
 // -redundancy runs a single YCSB 50/50 summary with the chosen backend
 // ("replication" or "rsK,M", e.g. rs4,2) instead of a paper experiment.
-// -racks and -crossbw tune the cluster-shaped experiments (figmr): the
-// rack fault-domain count and the spine bandwidth in MB/s the cross-rack
-// repair traffic is metered on.
+// -racks and -crossbw tune the cluster-shaped experiments (figmr and
+// figrl): the rack fault-domain count and the spine bandwidth in MB/s
+// that cross-rack repair and foreground traffic are metered on. figrl
+// sweeps the recovery lifecycle — fail, repair, re-integrate, revive —
+// and reports each phase's read latency against the healthy baseline
+// (vs_healthy), with foreground spine bytes (fg_cross_mb) separate from
+// repair bytes (repair_cross_mb).
 // -json FILE writes every produced table as machine-readable JSON
 // ("auto" derives a BENCH_<exp>.json name), so successive runs can be
 // diffed to track the performance trajectory.

@@ -112,9 +112,13 @@ func (r *Rack) clientTorForPair(pr *pair) *switchsim.Switch {
 }
 
 // clientSend ships a client packet into a ToR: one edge hop, plus the
-// spine crossing when the ToR is not in the client's rack (rack 0).
+// spine crossing — metered as foreground traffic on the shared link —
+// when the ToR is not in the client's rack (rack 0).
 func (r *Rack) clientSend(pkt packet.Packet, tor *switchsim.Switch) {
 	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.crossLatency(0, tor.RackID())
+	if tor.RackID() != 0 {
+		hop += r.cluster.meterForeground(r.cluster.frameBytes(pkt))
+	}
 	pkt.AddLatency(hop)
 	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
 }
@@ -139,6 +143,11 @@ func (r *Rack) deliverFromTor(torRack int, pkt packet.Packet) {
 		}
 	}
 	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.crossLatency(torRack, dstRack)
+	if torRack != dstRack {
+		// Leaving the rack: the packet pays for (and occupies) the
+		// shared spine alongside repair transfers.
+		hop += r.cluster.meterForeground(r.cluster.frameBytes(pkt))
+	}
 	pkt.AddLatency(hop)
 	r.eng.After(hop, func(sim.Time) {
 		if pkt.DstIP == r.clientIP {

@@ -31,6 +31,12 @@ type Cluster struct {
 	// degraded reads and background reconstruction.
 	crossRepairBytes int64
 	crossFetches     int64
+	// Foreground accounting: client/stripe packet bytes metered on the
+	// same spine (handoffs, cross-rack requests, responses, replication
+	// messages), kept separate from repair bytes so the two traffic
+	// classes can be compared while contending for one link.
+	foregroundBytes int64
+	torRevivals     int64
 }
 
 // newCluster wires the topology for r: per-rack ToR switches sharing the
@@ -77,6 +83,13 @@ func (c *Cluster) TorDown(rack int) bool { return c.torFailed[rack] }
 // spine so far.
 func (c *Cluster) CrossRepairBytes() int64 { return c.crossRepairBytes }
 
+// ForegroundBytes returns the foreground (non-repair) bytes metered on
+// the spine so far.
+func (c *Cluster) ForegroundBytes() int64 { return c.foregroundBytes }
+
+// ToRRevivals returns how many ToR switches have been revived.
+func (c *Cluster) ToRRevivals() int64 { return c.torRevivals }
+
 // SpineUtilization returns the cross-rack link's busy fraction (0 with a
 // single rack).
 func (c *Cluster) SpineUtilization() float64 {
@@ -95,10 +108,46 @@ func (c *Cluster) crossLatency(a, b int) sim.Time {
 	return c.spineLatency
 }
 
-// handoff carries a stripe read from one ToR to another over the spine.
-// A failed destination ToR drops it there, like any packet it processes.
+// frameHeaderBytes is the header cost every metered spine frame pays.
+const frameHeaderBytes = 64
+
+// messageBytes sizes one spine frame: a header, plus a page when the
+// message carries data. The single sizing rule for every foreground
+// class (client packets, handoffs, replication messages).
+func (c *Cluster) messageBytes(carriesPage bool) int64 {
+	if carriesPage {
+		return frameHeaderBytes + int64(c.rack.cfg.Geometry.PageSize)
+	}
+	return frameHeaderBytes
+}
+
+// frameBytes estimates a packet's wire size for spine metering: ops
+// that carry a page of data (writes and responses) move the page plus a
+// header; the rest are header-only control frames. Write acks are
+// overcounted as a page — the approximation errs toward congestion.
+func (c *Cluster) frameBytes(pkt packet.Packet) int64 {
+	return c.messageBytes(pkt.Op == packet.OpWrite || pkt.Op == packet.OpResponse)
+}
+
+// meterForeground reserves the spine for one foreground (non-repair)
+// payload and returns the extra delay the sender pays before the spine's
+// propagation latency: queueing behind earlier transfers — repair
+// batches included, so client and repair traffic contend realistically —
+// plus the transfer time itself. Free (and zero-delay) with one rack.
+func (c *Cluster) meterForeground(bytes int64) sim.Time {
+	if c.spine == nil || bytes <= 0 {
+		return 0
+	}
+	c.foregroundBytes += bytes
+	_, end := c.spine.Transfer(bytes, nil)
+	return end - c.rack.eng.Now()
+}
+
+// handoff carries a stripe read from one ToR to another over the spine,
+// metered as foreground traffic. A failed destination ToR drops it
+// there, like any packet it processes.
 func (c *Cluster) handoff(pkt packet.Packet, rack int) {
-	delay := c.spineLatency
+	delay := c.spineLatency + c.meterForeground(c.frameBytes(pkt))
 	pkt.AddLatency(delay)
 	c.rack.eng.After(delay, func(sim.Time) { c.tors[rack].Process(pkt) })
 }
@@ -123,6 +172,28 @@ func (c *Cluster) crossFetch(bytes int64, done func(sim.Time)) (start, end sim.T
 func (c *Cluster) failToR(rack int) {
 	c.torFailed[rack] = true
 	c.tors[rack].SetDown(true)
+}
+
+// ReviveToR un-darkens a failed ToR (Config.RecoverToRIndex, or direct
+// calls from tests and tools): the switch comes back with blank SRAM, so
+// the control plane replays its tables from surviving cluster state —
+// vSSD registrations, stripe members with any repaired replacements,
+// and failover/remote-dead marks for members that are still dead — and
+// clears the remote-dead and failover entries sibling ToRs hold for the
+// revived rack's now-reachable members. Reviving an up ToR is a no-op,
+// as is a second revival of the same ToR; both return false.
+func (c *Cluster) ReviveToR(rack int) bool {
+	if rack < 0 || rack >= c.racks || !c.torFailed[rack] {
+		return false
+	}
+	c.torFailed[rack] = false
+	c.torDetected[rack] = false
+	c.torRevivals++
+	tor := c.tors[rack]
+	tor.SetDown(false)
+	tor.ResetTables()
+	c.rack.replayToR(rack)
+	return true
 }
 
 // Stats sums the data-plane counters of every ToR in the cluster.

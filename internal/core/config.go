@@ -231,6 +231,14 @@ type Config struct {
 	// rack's servers stay alive but unreachable, and surviving ToRs take
 	// over its stripe traffic via inter-switch handoff. -1 disables.
 	FailToRIndex int
+	// RecoverToRIndex revives one rack's ToR at RecoverToRAt
+	// (Cluster.ReviveToR): the switch comes back with blank SRAM, the
+	// control plane replays its tables from survivors, and sibling ToRs
+	// drop their remote-dead and failover marks for the rack's
+	// now-reachable members. -1 disables (the default); reviving a ToR
+	// that never failed is a no-op.
+	RecoverToRIndex int
+	RecoverToRAt    sim.Time
 }
 
 // DefaultConfig returns the paper's default setup scaled to simulation:
@@ -276,6 +284,7 @@ func DefaultConfig() Config {
 		FailServerIndex:     -1,
 		FailRackIndex:       -1,
 		FailToRIndex:        -1,
+		RecoverToRIndex:     -1,
 	}
 }
 
@@ -353,6 +362,21 @@ func (c *Config) validateFailureSpec() error {
 	if c.FailToRIndex < -1 || c.FailToRIndex >= c.racks() {
 		return &FailureSpecError{Field: "FailToRIndex", Index: c.FailToRIndex,
 			Reason: fmt.Sprintf("out of range [0,%d) (-1 disables)", c.racks())}
+	}
+	if c.RecoverToRIndex < -1 || c.RecoverToRIndex >= c.racks() {
+		return &FailureSpecError{Field: "RecoverToRIndex", Index: c.RecoverToRIndex,
+			Reason: fmt.Sprintf("out of range [0,%d) (-1 disables)", c.racks())}
+	}
+	if c.RecoverToRIndex >= 0 && c.RecoverToRAt < 0 {
+		return &FailureSpecError{Field: "RecoverToRIndex", Index: c.RecoverToRIndex,
+			Reason: "needs a non-negative RecoverToRAt"}
+	}
+	if c.RecoverToRIndex >= 0 && c.RecoverToRIndex == c.FailToRIndex &&
+		c.RecoverToRAt <= c.FailServerAt {
+		// Reviving at or before the failure instant is a permanent
+		// no-op: the ToR is not down yet, then darkens forever.
+		return &FailureSpecError{Field: "RecoverToRIndex", Index: c.RecoverToRIndex,
+			Reason: "RecoverToRAt must be after FailServerAt to revive the failed ToR"}
 	}
 	seen := make(map[int]bool)
 	if j := c.FailRackIndex; j >= 0 {

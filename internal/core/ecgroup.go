@@ -6,6 +6,7 @@ import (
 	"rackblox/internal/packet"
 	"rackblox/internal/sched"
 	"rackblox/internal/sim"
+	"rackblox/internal/switchsim"
 	"rackblox/internal/workload"
 )
 
@@ -41,6 +42,68 @@ type ecGroup struct {
 	recon          *ec.Reconstructor
 	repairArmed    bool
 	repairInFlight bool
+
+	// Re-integration state: once the reconstructor finishes a lost
+	// holder, the adopting member that received the rebuilt chunks is
+	// registered as its replacement — reads and writes for the holder's
+	// chunks go to it directly, no longer degraded. crashed marks the
+	// holders whose server died and was queued for repair (a darkened
+	// ToR does not crash holders); failedHolders and
+	// reintegratedHolders track lifecycle progress; reintegratedAt is
+	// when the last outstanding holder completed.
+	replacement map[int]*instance
+	crashed     map[int]bool
+	// adopterFor pins each lost holder's adopter for the whole repair:
+	// every batch programs onto it and re-integration registers it, so
+	// a reachability change mid-repair cannot desynchronize where the
+	// chunks landed from where reads are steered afterwards.
+	adopterFor          map[int]*instance
+	failedHolders       int
+	reintegratedHolders int
+	reintegratedAt      sim.Time
+}
+
+// holderIndex resolves a member id to its group-local holder index.
+func (g *ecGroup) holderIndex(id uint32) (int, bool) {
+	for i, m := range g.insts {
+		if m.id == id {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// memberTable derives the per-rack stripe-table rows — member ids and
+// their racks, in placement order. Both the initial registration
+// (buildGroups) and the revival replay (replayToR) install exactly
+// these rows, so the two paths cannot drift.
+func (g *ecGroup) memberTable() (ids []uint32, racks []int) {
+	ids = make([]uint32, len(g.insts))
+	racks = make([]int, len(g.insts))
+	for i, m := range g.insts {
+		ids[i] = m.id
+		racks[i] = m.server.rackIdx
+	}
+	return ids, racks
+}
+
+// reintegrated reports whether every holder this group lost has been
+// rebuilt and re-registered.
+func (g *ecGroup) reintegrated() bool {
+	return g.failedHolders > 0 && g.reintegratedHolders == g.failedHolders
+}
+
+// servesDirect reports whether inst is the re-integrated replacement for
+// the holder a read was addressed to: the rebuilt chunk lives here, so
+// the switch-rewritten read is served like any healthy read instead of a
+// k-fetch reconstruction.
+func (g *ecGroup) servesDirect(inst *instance, homeID uint32) bool {
+	for i, m := range g.insts {
+		if m.id == homeID {
+			return g.replacement[i] == inst
+		}
+	}
+	return false
 }
 
 // buildGroups creates the erasure-coded volumes: for each group, k+m
@@ -55,10 +118,13 @@ func (r *Rack) buildGroups() error {
 
 	for gidx := 0; gidx < cfg.VSSDPairs; gidx++ {
 		g := &ecGroup{
-			idx:     gidx,
-			spec:    spec,
-			striper: ec.Striper{Spec: spec},
-			recon:   ec.NewReconstructor(),
+			idx:         gidx,
+			spec:        spec,
+			striper:     ec.Striper{Spec: spec},
+			recon:       ec.NewReconstructor(),
+			replacement: make(map[int]*instance),
+			crashed:     make(map[int]bool),
+			adopterFor:  make(map[int]*instance),
 		}
 		width := spec.Width()
 		servers := placer.Place(gidx)
@@ -79,17 +145,14 @@ func (r *Rack) buildGroups() error {
 		// into the wrong destination table), then install the stripe
 		// group — member ids plus their racks — in every involved ToR's
 		// per-rack stripe table for degraded routing and handoff.
-		ids := make([]uint32, 0, width)
-		racks := make([]int, 0, width)
 		for i, inst := range g.insts {
 			next := g.sameRackNeighbor(i)
 			r.torOf(inst.server).Process(packet.Packet{
 				Op: packet.OpCreateVSSD, VSSD: inst.id, SrcIP: inst.server.ip,
 				ReplicaVSSD: next.id, ReplicaIP: next.server.ip,
 			})
-			ids = append(ids, inst.id)
-			racks = append(racks, inst.server.rackIdx)
 		}
+		ids, racks := g.memberTable()
 		seenRack := make(map[int]bool)
 		for _, inst := range g.insts {
 			if seenRack[inst.server.rackIdx] {
@@ -130,7 +193,10 @@ func (g *ecGroup) sameRackNeighbor(i int) *instance {
 }
 
 // writeHolders returns the instances a logical write must update: the
-// data chunk's holder plus the stripe's m parity holders.
+// data chunk's holder plus the stripe's m parity holders. Members are
+// returned as originally placed — the client's volume map never
+// changes; the ToR rewrites traffic for failed-over or re-integrated
+// members.
 func (g *ecGroup) writeHolders(stripe, pos int) []*instance {
 	out := []*instance{g.insts[g.striper.DataHolder(stripe, pos)]}
 	for _, h := range g.striper.ParityHolders(stripe) {
@@ -275,6 +341,23 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 	r.degradedReads++
 	g := st.group
 	stripe := int(st.lpn)
+	// A degraded read for a crashed-and-re-integrated holder after the
+	// group finished healing should no longer exist: the switch
+	// rewrites such reads to the replacement and they are served
+	// directly. The only legitimate post-heal steering is the
+	// replacement itself collecting or unreachable; everything else
+	// (excluding requests issued before the last holder's tables were
+	// updated) is a straggler — the lifecycle's health check figrl
+	// asserts stays at zero. Holders isolated by a dark ToR are not
+	// counted: no repair was queued for them, so there is nothing to
+	// have re-integrated.
+	if hIdx, ok := g.holderIndex(st.homeID); ok && g.crashed[hIdx] &&
+		g.reintegrated() && st.issue > g.reintegratedAt {
+		repl := g.replacement[hIdx]
+		if repl == nil || (repl.server.reachable() && !repl.v.InGC(now)) {
+			r.degradedReadsPostRepair++
+		}
+	}
 
 	sources := g.readSources(inst, now)
 	k := g.spec.K
@@ -384,7 +467,15 @@ func (r *Rack) repairPump(g *ecGroup) {
 // through the cluster spine.
 func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 	now := r.eng.Now()
-	adopter := g.adopter(task.Holder)
+	// The adopter is pinned per holder: the first batch picks it and
+	// every later batch (and the final re-integration) targets the same
+	// member, unless it has since become unreachable and the repair
+	// must restart onto a new one.
+	adopter := g.adopterFor[task.Holder]
+	if adopter == nil || !adopter.server.reachable() {
+		adopter = g.adopter(task.Holder)
+		g.adopterFor[task.Holder] = adopter
+	}
 	if adopter == nil {
 		// Every member is dead; nothing to rebuild onto.
 		g.repairInFlight = false
@@ -438,8 +529,62 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 	}
 	end += sim.Time(task.Stripes)*ecDecodeTime + r.net.PathLatency(now, 2)
 	r.eng.At(end, func(sim.Time) {
-		g.recon.Done(task)
+		if g.recon.Done(task) {
+			r.reintegrate(g, task.Holder)
+		}
 		g.repairInFlight = false
 		r.scheduleRepair(g)
+	})
+}
+
+// reintegrate closes the repair loop for one fully rebuilt holder: the
+// adopter that received the reconstructed chunks becomes the holder's
+// replacement. The client's volume map updates immediately (new reads
+// and writes go to the replacement directly), and after the
+// control-plane propagation delay every ToR serving the group swaps the
+// dead member for the replacement in its stripe table
+// (switchsim.ReplaceStripeMember), clearing the failover and
+// remote-dead entries — so post-repair reads stop paying the
+// degraded-reconstruction cost.
+func (r *Rack) reintegrate(g *ecGroup, holder int) {
+	// Register the adopter the repair actually rebuilt onto — never
+	// recomputed, so the replacement always holds the chunks.
+	adopter := g.adopterFor[holder]
+	if adopter == nil {
+		return // everyone died since the repair was queued
+	}
+	oldID, newID := g.insts[holder].id, adopter.id
+	hop := r.net.HopLatency(r.eng.Now())
+	var last sim.Time
+	seen := make(map[*switchsim.Switch]bool)
+	for _, m := range g.insts {
+		tor := r.torOf(m.server)
+		if seen[tor] {
+			continue
+		}
+		seen[tor] = true
+		delay := hop + r.cluster.crossLatency(adopter.server.rackIdx, tor.RackID())
+		if delay > last {
+			last = delay
+		}
+		r.eng.After(delay, func(sim.Time) {
+			if tor.Down() {
+				return // a dark ToR misses the update; revival replays it
+			}
+			tor.RegisterDest(newID, adopter.server.ip)
+			tor.ReplaceStripeMember(oldID, newID)
+		})
+	}
+	// The holder counts as re-integrated once the slowest ToR has the
+	// replacement installed; reads issued after this instant are served
+	// directly everywhere.
+	r.eng.After(last, func(sim.Time) {
+		g.replacement[holder] = adopter
+		g.reintegratedHolders++
+		g.reintegratedAt = r.eng.Now()
+		// Every holder stores one chunk of each of the group's
+		// usedStripes stripes, so one completed holder re-integrates
+		// exactly that many.
+		r.reintegratedStripes += int64(g.usedStripes)
 	})
 }

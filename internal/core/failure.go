@@ -61,6 +61,12 @@ func (r *Rack) failTargets() []*server {
 func (r *Rack) scheduleFailure() {
 	targets := r.failTargets()
 	torIdx := r.cfg.FailToRIndex
+	if j := r.cfg.RecoverToRIndex; j >= 0 {
+		// ToR revival: un-darken the switch and replay its tables.
+		// Reviving a ToR that never failed (or failed after this
+		// instant) is a no-op inside ReviveToR.
+		r.eng.At(r.cfg.RecoverToRAt, func(sim.Time) { r.cluster.ReviveToR(j) })
+	}
 	if len(targets) == 0 && torIdx < 0 {
 		return
 	}
@@ -122,6 +128,9 @@ func (r *Rack) onServerDetectedDead(dead *server) {
 			}
 			r.installFailover(inst, adopter)
 			r.propagateMemberDead(g, inst)
+			g.crashed[i] = true
+			g.adopterFor[i] = adopter
+			g.failedHolders++
 			g.recon.EnqueueChunk(i, g.usedStripes, repairBatchStripes)
 			r.scheduleRepair(g)
 		}
@@ -191,7 +200,10 @@ func (r *Rack) propagateMemberDead(g *ecGroup, deadInst *instance) {
 // queued for reconstruction, reads are served degraded until the ToR
 // returns.
 func (r *Rack) onToRDetectedDead(rackIdx int) {
-	if r.cluster.torDetected[rackIdx] {
+	// A ToR revived before the heartbeat detector fired was a transient
+	// blip: installing failovers for a healthy rack would steer reads
+	// away from reachable members forever.
+	if r.cluster.torDetected[rackIdx] || !r.cluster.torFailed[rackIdx] {
 		return
 	}
 	r.cluster.torDetected[rackIdx] = true
@@ -239,6 +251,111 @@ func (r *Rack) installFailoverOnGroup(g *ecGroup, deadInst, adopter *instance) {
 		tors = append(tors, tor)
 	}
 	r.installFailoverOn(tors, deadInst, adopter)
+}
+
+// replayToR rebuilds a revived ToR's blank tables from surviving
+// cluster state and clears the stale marks sibling ToRs hold for the
+// revived rack (the control-plane half of Cluster.ReviveToR). The
+// replay is modeled as instantaneous: the controller streams the table
+// image before re-enabling the data plane.
+func (r *Rack) replayToR(rackIdx int) {
+	tor := r.cluster.tors[rackIdx]
+
+	// Re-register every instance homed in the revived rack, mirroring
+	// the rows the original create_vssd installed: pairs point at their
+	// Hermes peer, group members at their same-rack neighbor (the hint
+	// buildGroups registers so non-stripe paths never leak remote IPs
+	// into the wrong destination table).
+	for _, pr := range r.pairs {
+		for _, inst := range []*instance{pr.primary, pr.replica} {
+			if inst.server.rackIdx != rackIdx {
+				continue
+			}
+			repIP := inst.server.ip
+			if rep := r.insts[inst.replicaID]; rep != nil {
+				repIP = rep.server.ip
+			}
+			tor.InstallVSSD(inst.id, inst.server.ip, inst.replicaID, repIP)
+		}
+	}
+	for _, g := range r.groups {
+		for i, inst := range g.insts {
+			if inst.server.rackIdx != rackIdx {
+				continue
+			}
+			next := g.sameRackNeighbor(i)
+			tor.InstallVSSD(inst.id, inst.server.ip, next.id, next.server.ip)
+		}
+	}
+
+	// Replay the per-rack stripe tables of every group touching this
+	// rack, then overlay the failure-era state that survives revival:
+	// repaired holders point at their replacements, still-dead local
+	// members get failover entries, still-dead remote members get
+	// remote-dead marks.
+	for _, g := range r.groups {
+		touches := false
+		for _, m := range g.insts {
+			if m.server.rackIdx == rackIdx {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		ids, racks := g.memberTable()
+		tor.RegisterStripeMembers(ids, racks)
+		for i, m := range g.insts {
+			if repl := g.replacement[i]; repl != nil {
+				tor.RegisterDest(repl.id, repl.server.ip)
+				tor.ReplaceStripeMember(m.id, repl.id)
+				continue
+			}
+			if m.server.reachable() {
+				continue
+			}
+			if m.server.rackIdx == rackIdx {
+				if adopter := g.adopter(i); adopter != nil {
+					tor.RegisterDest(adopter.id, adopter.server.ip)
+					tor.Failover(m.id, adopter.id)
+				}
+			} else {
+				tor.MarkRemoteDead(m.id)
+			}
+		}
+	}
+
+	// Replicated pairs: a locally-homed member whose server crashed (not
+	// merely darkened) keeps routing to its survivor.
+	for _, pr := range r.pairs {
+		for _, inst := range []*instance{pr.primary, pr.replica} {
+			if inst.server.rackIdx != rackIdx || inst.server.reachable() {
+				continue
+			}
+			if surv := r.insts[inst.replicaID]; surv != nil && surv.server.reachable() {
+				tor.RegisterDest(surv.id, surv.server.ip)
+				tor.Failover(inst.id, surv.id)
+			}
+		}
+	}
+
+	// Sibling ToRs: the revived rack's members are reachable again, so
+	// the remote-dead marks and failover rewrites installed while it was
+	// dark are stale — without this they would outlive the outage and
+	// keep steering reads away from healthy holders forever.
+	for j, sib := range r.cluster.tors {
+		if j == rackIdx || sib.Down() {
+			continue
+		}
+		for _, inst := range r.allInstances() {
+			if inst.server.rackIdx != rackIdx || !inst.server.reachable() {
+				continue
+			}
+			sib.ClearRemoteDead(inst.id)
+			sib.FailoverCleared(inst.id)
+		}
+	}
 }
 
 // watchTimeout arms the client-side loss detector for one request.

@@ -166,6 +166,10 @@ type Rack struct {
 	ecSubWrites        int64
 	ecRetransmits      int64
 	lostReads          int64
+
+	// recovery-lifecycle counters
+	reintegratedStripes     int64
+	degradedReadsPostRepair int64
 }
 
 // NewRack builds and preconditions a rack per the configuration.
@@ -376,6 +380,12 @@ func (r *Rack) hermesTransport(pri, rep *instance) replication.Transport {
 		src := byNode(1 - msg.To)
 		delay := r.net.PathLatency(r.eng.Now(), 2) +
 			r.cluster.crossLatency(src.server.rackIdx, dst.server.rackIdx)
+		if src.server.rackIdx != dst.server.rackIdx {
+			// Cross-rack replication is foreground spine traffic too:
+			// invalidations carry the written page, acks a bare header.
+			delay += r.cluster.meterForeground(
+				r.cluster.messageBytes(msg.Type == replication.MsgInv))
+		}
 		r.eng.After(delay, func(sim.Time) {
 			if !dst.server.reachable() {
 				return // messages to a crashed or isolated server are lost

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rackblox/internal/flash"
+	"rackblox/internal/sim"
+)
+
+// recoveryConfig is the lifecycle test cluster: three racks of six
+// servers, RS(4,2) spread placement, fast devices so reconstruction and
+// re-integration complete well inside the horizon.
+func recoveryConfig() Config {
+	cfg := DefaultConfig()
+	cfg.System = RackBlox
+	cfg.Racks = 3
+	cfg.StorageServers = 6
+	cfg.VSSDPairs = 3
+	cfg.Redundancy = ErasureCode(4, 2)
+	cfg.Placement = PlacementSpread
+	cfg.Device = flash.ProfileOptane()
+	cfg.Workload.WriteFrac = 0.2
+	cfg.KeyspaceFrac = 0.25
+	cfg.MaxClientInflight = 256
+	cfg.Warmup = 50 * sim.Millisecond
+	cfg.Duration = 450 * sim.Millisecond
+	return cfg
+}
+
+// TestServerCrashReintegrates closes the loop on a server crash: the
+// reconstructor rebuilds the lost chunks, the replacement holder is
+// re-registered in the switch stripe tables, and no read issued after
+// re-integration pays the degraded cost for an unreachable home.
+func TestServerCrashReintegrates(t *testing.T) {
+	cfg := recoveryConfig()
+	cfg.FailServerIndex = 0
+	cfg.FailServerAt = 100 * sim.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedReads == 0 {
+		t.Fatal("no degraded reads before re-integration")
+	}
+	if res.ReintegratedStripes == 0 {
+		t.Fatal("repair completed nothing; no stripes re-integrated")
+	}
+	if res.RepairPending != 0 {
+		t.Fatalf("%d repair tasks still pending at end of run", res.RepairPending)
+	}
+	if res.DegradedReadsPostRepair != 0 {
+		t.Fatalf("%d degraded reads after re-integration; replacement not serving directly",
+			res.DegradedReadsPostRepair)
+	}
+	if res.Switch.Reintegrated == 0 {
+		t.Fatal("no packets were rewritten to the replacement holder")
+	}
+	if res.LostReads != 0 {
+		t.Fatalf("%d reads lost across the lifecycle", res.LostReads)
+	}
+}
+
+// TestToRRevivalClearsSiblingState is the regression for the stale
+// remote-dead bug: before revival existed, FailToRIndex left every
+// sibling ToR's MarkRemoteDead entries (and the failover rewrites for
+// the darkened members) in place forever. The first half captures that
+// stale-state behavior; the second asserts revival clears it everywhere.
+func TestToRRevivalClearsSiblingState(t *testing.T) {
+	darkRack := 1
+	base := recoveryConfig()
+	base.FailToRIndex = darkRack
+	base.FailServerAt = 100 * sim.Millisecond
+
+	// Without revival: sibling ToRs keep the dark rack's members marked
+	// remote-dead and failed-over long after the run ends — the stale
+	// state this PR's revival path exists to clear.
+	r, err := NewRack(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run()
+	var darkMembers []uint32
+	for _, g := range r.groups {
+		for _, m := range g.insts {
+			if m.server.rackIdx == darkRack {
+				darkMembers = append(darkMembers, m.id)
+			}
+		}
+	}
+	if len(darkMembers) == 0 {
+		t.Fatal("no stripe members in the darkened rack")
+	}
+	stale := 0
+	for j := 0; j < base.Racks; j++ {
+		if j == darkRack {
+			continue
+		}
+		for _, id := range darkMembers {
+			if r.cluster.Tor(j).RemoteDead(id) {
+				stale++
+			}
+		}
+	}
+	if stale == 0 {
+		t.Fatal("expected stale remote-dead marks without revival (regression baseline)")
+	}
+
+	// With revival: every sibling mark is cleared and the revived ToR
+	// serves its rack directly again.
+	cfg := base
+	cfg.RecoverToRIndex = darkRack
+	cfg.RecoverToRAt = 250 * sim.Millisecond
+	r2, err := NewRack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r2.Run()
+	if res.ToRRevivals != 1 {
+		t.Fatalf("ToRRevivals = %d, want 1", res.ToRRevivals)
+	}
+	for j := 0; j < cfg.Racks; j++ {
+		if j == darkRack {
+			continue
+		}
+		for _, id := range darkMembers {
+			if r2.cluster.Tor(j).RemoteDead(id) {
+				t.Fatalf("ToR %d still marks member %d remote-dead after revival", j, id)
+			}
+		}
+	}
+	if r2.cluster.TorDown(darkRack) || r2.cluster.Tor(darkRack).Down() {
+		t.Fatal("revived ToR still down")
+	}
+	if res.DegradedReadsPostRepair != 0 {
+		t.Fatalf("%d degraded reads for unreachable homes after revival", res.DegradedReadsPostRepair)
+	}
+}
+
+// TestReviveToRNoFailureIsNoOp: reviving a ToR that never failed (or
+// reviving twice) must change nothing and report false.
+func TestReviveToRNoFailureIsNoOp(t *testing.T) {
+	cfg := recoveryConfig()
+	cfg.Duration = 100 * sim.Millisecond
+	r, err := NewRack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.cluster.ReviveToR(0) {
+		t.Fatal("reviving a healthy ToR reported work done")
+	}
+	if r.cluster.ReviveToR(-1) || r.cluster.ReviveToR(99) {
+		t.Fatal("out-of-range revival reported work done")
+	}
+	r.cluster.failToR(2)
+	if !r.cluster.ReviveToR(2) {
+		t.Fatal("first revival of a failed ToR did nothing")
+	}
+	if r.cluster.ReviveToR(2) {
+		t.Fatal("second revival of the same ToR reported work done")
+	}
+	res := r.Run()
+	if res.LostRequests != 0 {
+		t.Fatalf("revival no-ops lost %d requests", res.LostRequests)
+	}
+	if res.ToRRevivals != 1 {
+		t.Fatalf("ToRRevivals = %d, want 1", res.ToRRevivals)
+	}
+}
+
+// TestRecoverToRValidation rejects revival specs that can never fire:
+// an out-of-range index, or a revival instant at or before the ToR
+// failure it is meant to undo (a silent permanent no-op otherwise).
+func TestRecoverToRValidation(t *testing.T) {
+	cfg := recoveryConfig()
+	cfg.RecoverToRIndex = 99
+	if err := cfg.Validate(); err == nil {
+		t.Error("out-of-range RecoverToRIndex accepted")
+	}
+	cfg = recoveryConfig()
+	cfg.FailToRIndex = 1
+	cfg.FailServerAt = 300 * sim.Millisecond
+	cfg.RecoverToRIndex = 1
+	cfg.RecoverToRAt = 120 * sim.Millisecond
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("revival at or before the ToR failure instant accepted")
+	}
+	var spec *FailureSpecError
+	if !errors.As(err, &spec) {
+		t.Errorf("error %v is not a *FailureSpecError", err)
+	}
+	cfg.RecoverToRAt = 400 * sim.Millisecond
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid revival spec rejected: %v", err)
+	}
+}
+
+// TestRecoveryLifecycleProperty is the randomized acceptance property:
+// for any within-budget failure spec (up to m server crashes, or a
+// whole-rack crash under spread placement), a full run ends with every
+// lost chunk repaired and re-integrated, no read lost, no stripe
+// unrecoverable, and not a single degraded read issued after
+// re-integration — i.e. fresh reads of every stripe are served
+// directly again. The byte-level twin of this property (repaired chunks
+// identical to the original payload) lives in
+// internal/ec TestRepairReintegrationByteIdentity.
+func TestRecoveryLifecycleProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple end-to-end runs")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		cfg := recoveryConfig()
+		cfg.Seed = int64(100 + trial)
+		k := 2 + rng.Intn(3) // 2..4
+		m := 1 + rng.Intn(2) // 1..2
+		cfg.Redundancy = ErasureCode(k, m)
+		// Spread placement caps racks at m chunks per stripe, so it needs
+		// ceil((k+m)/m) <= Racks fault domains to place a group at all.
+		spreadOK := (k+m+m-1)/m <= cfg.Racks
+		wholeRack := rng.Intn(2) == 0 && m >= 2 && spreadOK
+		if wholeRack {
+			// Spread placement keeps every rack at <= m chunks, so one
+			// rack crash stays within the redundancy budget.
+			cfg.Placement = PlacementSpread
+			cfg.FailRackIndex = rng.Intn(cfg.Racks)
+		} else {
+			if !spreadOK || rng.Intn(2) == 0 {
+				cfg.Placement = PlacementCompact
+			}
+			// Up to m distinct server crashes: group members sit on
+			// distinct servers, so no group loses more than m chunks.
+			total := cfg.Racks * cfg.StorageServers
+			crashes := 1 + rng.Intn(m)
+			seen := map[int]bool{}
+			for len(seen) < crashes {
+				seen[rng.Intn(total)] = true
+			}
+			first := true
+			for idx := range seen {
+				if first {
+					cfg.FailServerIndex = idx
+					first = false
+				} else {
+					cfg.FailServers = append(cfg.FailServers, idx)
+				}
+			}
+		}
+		cfg.FailServerAt = 100 * sim.Millisecond
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (k=%d m=%d rack=%v): %v", trial, k, m, wholeRack, err)
+		}
+		if res.UnrecoverableStripes != 0 || res.LostReads != 0 {
+			t.Errorf("trial %d (k=%d m=%d rack=%v): lost data: unrecov=%d lostReads=%d",
+				trial, k, m, wholeRack, res.UnrecoverableStripes, res.LostReads)
+		}
+		if res.RepairPending != 0 {
+			t.Errorf("trial %d: %d repair tasks never completed", trial, res.RepairPending)
+		}
+		if res.RepairedStripes > 0 && res.ReintegratedStripes == 0 {
+			t.Errorf("trial %d: stripes repaired but nothing re-integrated", trial)
+		}
+		if res.DegradedReadsPostRepair != 0 {
+			t.Errorf("trial %d: %d degraded reads after re-integration", trial,
+				res.DegradedReadsPostRepair)
+		}
+	}
+}

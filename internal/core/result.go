@@ -59,6 +59,25 @@ type Result struct {
 	CrossRackFetches     int64
 	SpineUtilization     float64
 	UnrecoverableStripes int64
+	// ForegroundCrossRackBytes is the client/stripe traffic (handoffs,
+	// cross-rack requests and responses, replication messages) metered
+	// on the same spine link — reported separately from repair bytes so
+	// the two contending classes can be compared. SpineUtilization
+	// covers both.
+	ForegroundCrossRackBytes int64
+
+	// Recovery-lifecycle counters (fail -> repair -> re-integrate ->
+	// revive). ReintegratedStripes counts stripes whose rebuilt chunks
+	// were re-registered with a replacement holder in the switch stripe
+	// tables; DegradedReadsPostRepair counts degraded reads served for
+	// a crashed-and-re-integrated holder after its group finished
+	// healing, excluding steering legitimately caused by the
+	// replacement itself collecting or being unreachable — zero when
+	// the loop closes correctly; ToRRevivals counts dark switches
+	// brought back by Cluster.ReviveToR.
+	ReintegratedStripes     int64
+	DegradedReadsPostRepair int64
+	ToRRevivals             int64
 
 	// WriteAmp is the mean write amplification across instances.
 	WriteAmp float64
@@ -112,6 +131,10 @@ func (r *Rack) Run() *Result {
 	res.CrossRackRepairBytes = r.cluster.crossRepairBytes
 	res.CrossRackFetches = r.cluster.crossFetches
 	res.SpineUtilization = r.cluster.SpineUtilization()
+	res.ForegroundCrossRackBytes = r.cluster.foregroundBytes
+	res.ReintegratedStripes = r.reintegratedStripes
+	res.DegradedReadsPostRepair = r.degradedReadsPostRepair
+	res.ToRRevivals = r.cluster.torRevivals
 	for _, g := range r.groups {
 		res.RepairedStripes += int64(g.recon.RepairedStripes())
 		res.RepairPending += int64(g.recon.Pending())

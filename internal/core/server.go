@@ -163,8 +163,10 @@ func (s *server) startRead(inst *instance, req *sched.Request, attempt int) {
 
 	// An erasure-coded read landing away from its home chunk holder was
 	// steered here by the switch (home collecting or failed): this
-	// holder coordinates the degraded reconstruction from k chunks.
-	if st.group != nil && inst.id != st.homeID {
+	// holder coordinates the degraded reconstruction from k chunks —
+	// unless it is the home's re-integrated replacement, in which case
+	// the rebuilt chunk lives here and the read is served directly.
+	if st.group != nil && inst.id != st.homeID && !st.group.servesDirect(inst, st.homeID) {
 		s.startDegradedRead(inst, req)
 		return
 	}

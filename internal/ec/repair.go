@@ -16,18 +16,28 @@ type RepairTask struct {
 // group. It is deliberately passive: the rack decides *when* a task may
 // run (only in switch-observed GC idle windows, the same gate soft-GC
 // requests pass) and calls Next to claim work; the reconstructor only
-// tracks what remains.
+// tracks what remains. Per-holder remaining counts let the caller close
+// the repair loop: Done reports when the last stripe of a holder has
+// been rebuilt, the moment its replacement can be re-registered in the
+// switch stripe tables.
 type Reconstructor struct {
 	pending  []RepairTask
 	repaired int
 	delayed  int
+	// remaining tracks, per lost holder, the stripes still to rebuild.
+	remaining map[int]int
 }
 
 // NewReconstructor returns an empty repair queue.
-func NewReconstructor() *Reconstructor { return &Reconstructor{} }
+func NewReconstructor() *Reconstructor {
+	return &Reconstructor{remaining: make(map[int]int)}
+}
 
 // Enqueue adds one repair task.
-func (r *Reconstructor) Enqueue(t RepairTask) { r.pending = append(r.pending, t) }
+func (r *Reconstructor) Enqueue(t RepairTask) {
+	r.pending = append(r.pending, t)
+	r.remaining[t.Holder] += t.Stripes
+}
 
 // EnqueueChunk splits the repair of one lost holder's chunks over
 // [0, stripes) into batch-sized tasks.
@@ -55,8 +65,23 @@ func (r *Reconstructor) Next() (t RepairTask, ok bool) {
 	return t, true
 }
 
-// Done records a completed task's stripes.
-func (r *Reconstructor) Done(t RepairTask) { r.repaired += t.Stripes }
+// Done records a completed task's stripes and reports whether the
+// task's holder is now fully rebuilt — every stripe enqueued for it has
+// been repaired — so the caller can re-register the replacement holder.
+func (r *Reconstructor) Done(t RepairTask) (holderComplete bool) {
+	r.repaired += t.Stripes
+	left := r.remaining[t.Holder] - t.Stripes
+	if left > 0 {
+		r.remaining[t.Holder] = left
+		return false
+	}
+	delete(r.remaining, t.Holder)
+	return true
+}
+
+// Remaining returns the stripes still to rebuild for one holder (0 once
+// complete or never enqueued).
+func (r *Reconstructor) Remaining(holder int) int { return r.remaining[holder] }
 
 // Delayed records one admission attempt pushed back by a busy GC window.
 func (r *Reconstructor) Delayed() { r.delayed++ }

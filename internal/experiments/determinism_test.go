@@ -20,13 +20,16 @@ func replayJSON(t *testing.T, id string) []byte {
 	return b
 }
 
-// TestDeterministicReplay runs figec and figmr twice with the same seed
-// and asserts byte-identical JSON results. This pins the engine's
-// (time, insertion-order) event ordering and the per-component RNG fork
-// discipline (internal/sim/rng.go): any refactor that lets map iteration
-// or wall-clock state leak into the event loop shows up here as a diff.
+// TestDeterministicReplay runs figec, figmr, and figrl twice with the
+// same seed and asserts byte-identical JSON results. This pins the
+// engine's (time, insertion-order) event ordering and the per-component
+// RNG fork discipline (internal/sim/rng.go): any refactor that lets map
+// iteration or wall-clock state leak into the event loop shows up here
+// as a diff. figrl additionally covers the recovery-lifecycle paths —
+// chunk repair, switch re-integration, ToR revival with table replay —
+// whose control-plane fan-out is the newest source of ordering hazards.
 func TestDeterministicReplay(t *testing.T) {
-	for _, id := range []string{"figec", "figmr"} {
+	for _, id := range []string{"figec", "figmr", "figrl"} {
 		first := replayJSON(t, id)
 		second := replayJSON(t, id)
 		if string(first) != string(second) {

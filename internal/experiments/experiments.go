@@ -764,6 +764,129 @@ func FigMR(scale Scale, opt Options) *Table {
 	return t
 }
 
+// rlTimeline fixes the recovery-lifecycle instants (absolute virtual
+// times, deliberately not scaled: repair and revival need real room to
+// finish; Scale only shrinks the measured windows).
+const (
+	rlFailAt   = 120 * sim.Millisecond
+	rlReviveAt = 300 * sim.Millisecond
+	// rlHealedBy is when the cluster is expected back to full health:
+	// detection (~30ms) + chunk reconstruction + re-integration for the
+	// crash scenarios, revival + table replay for the ToR scenario. The
+	// figrl test asserts the expectation via the lifecycle counters.
+	rlHealedBy = 500 * sim.Millisecond
+)
+
+// rlConfig is the recovery-lifecycle cluster: three racks of six
+// servers, RS(4,2) spread placement, Optane-class devices so background
+// reconstruction completes well inside the simulated horizon, and a
+// read-leaning mix so GC idle windows admit repair promptly.
+func rlConfig(scale Scale, opt Options) core.Config {
+	cfg := baseConfig(scale)
+	cfg.System = core.RackBlox
+	cfg.Racks = opt.Racks
+	if cfg.Racks < 3 {
+		cfg.Racks = 3 // spread RS(4,2) needs ceil((k+m)/m) = 3 fault domains
+	}
+	cfg.StorageServers = 6
+	cfg.VSSDPairs = 3
+	cfg.Redundancy = core.ErasureCode(4, 2)
+	cfg.Placement = core.PlacementSpread
+	cfg.CrossRackMBps = opt.CrossBWMBps
+	if cfg.CrossRackMBps <= 0 {
+		cfg.CrossRackMBps = 200
+	}
+	cfg.Device = flash.ProfileOptane()
+	cfg.Workload.WriteFrac = 0.2
+	cfg.KeyspaceFrac = 0.25
+	// A generous client window keeps the group issuing while requests
+	// stuck on a freshly-crashed holder wait out their timeouts;
+	// otherwise the default window clogs and the degraded phase shows
+	// timeout stalls instead of degraded service.
+	cfg.MaxClientInflight = 256
+	return cfg
+}
+
+// FigRL traces the recovery lifecycle — fail, repair, re-integrate,
+// revive — and shows the co-design closing the loop: after the
+// reconstructor rebuilds a crashed server's chunks and re-registers the
+// replacement holder in the ToR stripe tables, reads stop paying the
+// degraded-reconstruction cost (degraded_post_repair == 0) and the read
+// latency of the post-repair window returns to the healthy baseline
+// (vs_healthy ~ 1); likewise a revived ToR resumes direct service after
+// its stripe table is replayed from survivors. Foreground cross-rack
+// traffic (fg_cross_mb) is metered on the same spine as repair traffic
+// (repair_cross_mb) and reported separately. Every row measures the
+// same-length window, so latencies are comparable across phases.
+func FigRL(scale Scale, opt Options) *Table {
+	t := &Table{ID: "FigRL",
+		Title: "Recovery lifecycle: fail -> repair -> re-integrate -> revive",
+		Cols: []string{"read_mean_ms", "read_p99_ms", "vs_healthy", "degraded",
+			"degraded_post_repair", "reintegrated_stripes", "repair_pending",
+			"fg_cross_mb", "repair_cross_mb", "lost_reads", "tor_revivals"}}
+	window := scale.duration(300 * sim.Millisecond)
+	type phase struct {
+		series, x string
+		measure   sim.Time // measured window start (Warmup)
+		mutate    func(*core.Config)
+	}
+	crash := func(cfg *core.Config) {
+		cfg.FailServerIndex = 0
+		cfg.FailServerAt = rlFailAt
+	}
+	darken := func(cfg *core.Config) {
+		cfg.FailToRIndex = 1
+		cfg.FailServerAt = rlFailAt
+	}
+	revive := func(cfg *core.Config) {
+		darken(cfg)
+		cfg.RecoverToRIndex = 1
+		cfg.RecoverToRAt = rlReviveAt
+	}
+	phases := []phase{
+		{"healthy", "baseline", rlHealedBy, func(*core.Config) {}},
+		{"server crash", "degraded", rlFailAt, crash},
+		{"server crash", "post-repair", rlHealedBy, crash},
+		{"tor outage", "dark", rlFailAt, darken},
+		{"tor outage+revive", "post-revival", rlHealedBy, revive},
+	}
+	var healthyMean float64
+	for _, ph := range phases {
+		cfg := rlConfig(scale, opt)
+		cfg.Warmup = ph.measure
+		cfg.Duration = window
+		ph.mutate(&cfg)
+		res, err := core.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		reads := res.Recorder.Reads()
+		mean := reads.Mean() / 1e6
+		if ph.series == "healthy" {
+			healthyMean = mean
+		}
+		ratio := 0.0
+		if healthyMean > 0 {
+			ratio = mean / healthyMean
+		}
+		t.Rows = append(t.Rows, Row{Series: ph.series, X: ph.x,
+			Values: map[string]float64{
+				"read_mean_ms":         mean,
+				"read_p99_ms":          ms(reads.P99()),
+				"vs_healthy":           ratio,
+				"degraded":             float64(res.DegradedReads),
+				"degraded_post_repair": float64(res.DegradedReadsPostRepair),
+				"reintegrated_stripes": float64(res.ReintegratedStripes),
+				"repair_pending":       float64(res.RepairPending),
+				"fg_cross_mb":          float64(res.ForegroundCrossRackBytes) / 1e6,
+				"repair_cross_mb":      float64(res.CrossRackRepairBytes) / 1e6,
+				"lost_reads":           float64(res.LostReads),
+				"tor_revivals":         float64(res.ToRRevivals),
+			}})
+	}
+	return t
+}
+
 // RedundancySummary runs one YCSB 50/50 benchmark with the chosen
 // redundancy backend on a six-server rack and tabulates the headline
 // metrics (cmd/rackbench's -redundancy flag).
@@ -803,6 +926,7 @@ func All() []string {
 		"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
 		"fig22", "fig23", "predictor", "gcablation", "figec", "figmr",
+		"figrl",
 	}
 }
 
@@ -854,6 +978,8 @@ func ByIDWith(id string, scale Scale, opt Options) ([]*Table, error) {
 		return []*Table{FigEC(scale)}, nil
 	case "figmr":
 		return []*Table{FigMR(scale, opt)}, nil
+	case "figrl":
+		return []*Table{FigRL(scale, opt)}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }

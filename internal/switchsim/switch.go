@@ -54,6 +54,10 @@ type Stats struct {
 	// Handoffs counts reads passed to another rack's ToR because no local
 	// stripe member could serve them (multi-rack degraded routing).
 	Handoffs int64
+	// Reintegrated counts packets rewritten to a repaired holder's
+	// replacement (ReplaceStripeMember) and served directly — traffic
+	// that before re-integration would have paid the degraded path.
+	Reintegrated int64
 }
 
 // Add accumulates another switch's counters (cluster-wide totals).
@@ -68,6 +72,7 @@ func (s *Stats) Add(o Stats) {
 	s.Dropped += o.Dropped
 	s.DegradedRedirects += o.DegradedRedirects
 	s.Handoffs += o.Handoffs
+	s.Reintegrated += o.Reintegrated
 }
 
 // Switch is the programmable ToR switch.
@@ -92,7 +97,11 @@ type Switch struct {
 	rackID     int
 	memberRack map[uint32]int
 	remoteDead map[uint32]bool
-	handoff    Handoff
+	// replaced maps a repaired (formerly failed) stripe member to the
+	// replacement holder now serving its chunks: traffic addressed to
+	// the old id is rewritten and served directly, not degraded.
+	replaced map[uint32]uint32
+	handoff  Handoff
 	// down marks a failed ToR: it drops every packet until repaired.
 	down bool
 
@@ -126,6 +135,7 @@ func New(eng *sim.Engine, q Qdisc, fwd Forwarder) *Switch {
 		stripe:             make(map[uint32][]uint32),
 		memberRack:         make(map[uint32]int),
 		remoteDead:         make(map[uint32]bool),
+		replaced:           make(map[uint32]uint32),
 		qdisc:              q,
 		forward:            fwd,
 		PipelineLatency:    800 * sim.Nanosecond,
@@ -230,6 +240,96 @@ func (s *Switch) RegisterStripeMembers(group []uint32, racks []int) {
 // degraded reads stop handing off toward it.
 func (s *Switch) MarkRemoteDead(id uint32) { s.remoteDead[id] = true }
 
+// ClearRemoteDead removes a remote-dead mark after the member became
+// reachable again (its ToR revived, or a replacement was registered).
+func (s *Switch) ClearRemoteDead(id uint32) { delete(s.remoteDead, id) }
+
+// RemoteDead reports whether a member is currently marked dead-remote.
+func (s *Switch) RemoteDead(id uint32) bool { return s.remoteDead[id] }
+
+// ReplaceStripeMember re-registers a rebuilt chunk holder (control
+// plane): member old's chunks have been reconstructed onto replacement,
+// so old is swapped out of the stripe table, its failover and
+// remote-dead entries are cleared, and traffic still addressed to old
+// is rewritten to the replacement and served directly — post-repair
+// reads stop paying the degraded-reconstruction cost. The call is
+// idempotent; it is a no-op when old has no stripe state here or the
+// replacement is not a registered member of the same group.
+func (s *Switch) ReplaceStripeMember(old, replacement uint32) {
+	group, ok := s.stripe[old]
+	if !ok || old == replacement {
+		return
+	}
+	if _, ok := s.stripe[replacement]; !ok {
+		return
+	}
+	for i, id := range group {
+		if id == old {
+			group[i] = replacement
+		}
+	}
+	s.replaced[old] = replacement
+	delete(s.failover, old)
+	delete(s.remoteDead, old)
+}
+
+// ReplacedBy returns the replacement holder registered for a repaired
+// member, if any.
+func (s *Switch) ReplacedBy(id uint32) (uint32, bool) {
+	r, ok := s.replaced[id]
+	return r, ok
+}
+
+// applyReplaced rewrites a packet addressed to a repaired member toward
+// its registered replacement, chasing the chain that forms when a
+// replacement itself later fails and is repaired elsewhere, and reports
+// whether a rewrite happened. Chains are acyclic by construction — a
+// replaced member is dead and never adopts — but the hop bound keeps a
+// corrupted table from looping the pipeline.
+func (s *Switch) applyReplaced(pkt *packet.Packet) bool {
+	moved := false
+	for i := 0; i < 16; i++ {
+		nw, ok := s.replaced[pkt.VSSD]
+		if !ok || nw == pkt.VSSD {
+			break
+		}
+		pkt.VSSD = nw
+		if de, ok2 := s.dest[nw]; ok2 {
+			pkt.DstIP = de.ip
+		}
+		moved = true
+	}
+	if moved {
+		s.stats.Reintegrated++ // once per packet, however long the chain
+	}
+	return moved
+}
+
+// InstallVSSD installs a vSSD's replica and destination rows directly
+// (control plane), mirroring what a create_vssd packet would do. The
+// revival replay uses it to rebuild a ToR's tables from surviving state.
+func (s *Switch) InstallVSSD(vssd, ip, replica, replicaIP uint32) {
+	s.replica[vssd] = &replicaEntry{replica: replica}
+	s.dest[vssd] = &destEntry{ip: ip}
+	if _, ok := s.dest[replica]; !ok {
+		s.dest[replica] = &destEntry{ip: replicaIP}
+	}
+}
+
+// ResetTables models the SRAM loss of a power-cycled switch: every
+// table — replica, destination, failover, stripe, member-rack,
+// remote-dead, replacement — is cleared. A revived ToR starts from this
+// blank state and has its tables replayed by the control plane.
+func (s *Switch) ResetTables() {
+	s.replica = make(map[uint32]*replicaEntry)
+	s.dest = make(map[uint32]*destEntry)
+	s.failover = make(map[uint32]uint32)
+	s.stripe = make(map[uint32][]uint32)
+	s.memberRack = make(map[uint32]int)
+	s.remoteDead = make(map[uint32]bool)
+	s.replaced = make(map[uint32]uint32)
+}
+
 // RegisterDest installs a destination-table row directly (control
 // plane): the failover path uses it so a rewrite target living under
 // another ToR still resolves to an IP here.
@@ -273,9 +373,24 @@ func (s *Switch) chunkHealthy(id uint32) bool {
 // word. Returns false when the packet left via a handoff; the caller's
 // dwell is charged here in that case, since the packet still crossed
 // this switch's pipeline and egress queue on its way out.
-func (s *Switch) routeECRead(pkt *packet.Packet, group []uint32, dwell sim.Time) bool {
+func (s *Switch) routeECRead(pkt *packet.Packet, group []uint32, dwell sim.Time, reassigned bool) bool {
 	if s.chunkHealthy(pkt.VSSD) {
 		return true
+	}
+	// The packet was just rewritten to a re-integrated replacement homed
+	// in another rack (the alias can point across racks). Its rebuilt
+	// chunk is intact there, so hand the read to its own ToR — which
+	// knows its GC and failure state — instead of paying a k-fetch
+	// reconstruction here. Only alias-rewritten packets take this path:
+	// an ordinary handoff arriving for a remote member must not bounce
+	// back toward the rack that could not serve it.
+	if reassigned && !s.local(pkt.VSSD) && !s.remoteDead[pkt.VSSD] &&
+		s.handoff != nil && pkt.Handoffs < maxHandoffs {
+		pkt.Handoffs++
+		s.stats.Handoffs++
+		pkt.AddLatency(dwell)
+		s.handoff(*pkt, s.memberRack[pkt.VSSD])
+		return false
 	}
 	n := len(group)
 	start := int(pkt.LPN) % n
@@ -339,13 +454,16 @@ func (s *Switch) runPipeline(pkt packet.Packet, arrived, now sim.Time) {
 		return
 	case packet.OpWrite:
 		// Writes are never redirected (Algorithm 1 line 2-3) — unless
-		// their target failed, in which case the surviving replica is
-		// the only copy left to apply them.
+		// their target was repaired elsewhere or failed, in which case
+		// the replacement (or surviving replica) is the only copy left
+		// to apply them.
+		s.applyReplaced(&pkt)
 		s.applyFailover(&pkt)
 		pkt.AddLatency(dwell)
 		s.emit(pkt)
 	case packet.OpRead:
-		s.handleRead(pkt, dwell)
+		reassigned := s.applyReplaced(&pkt)
+		s.handleRead(pkt, dwell, reassigned)
 	case packet.OpGC:
 		s.handleGC(pkt, dwell)
 	case packet.OpResponse:
@@ -369,10 +487,11 @@ func (s *Switch) handleCreate(pkt packet.Packet) {
 // handleRead implements Algorithm 1 lines 4-9: redirect a read away from a
 // collecting vSSD when its replica is idle. Erasure-coded chunk holders
 // take the stripe-routing path instead: their "replica" is the whole
-// surviving group.
-func (s *Switch) handleRead(pkt packet.Packet, dwell sim.Time) {
+// surviving group. reassigned marks a packet the replacement table just
+// rewrote (see applyReplaced).
+func (s *Switch) handleRead(pkt packet.Packet, dwell sim.Time, reassigned bool) {
 	if group, ok := s.stripe[pkt.VSSD]; ok {
-		if s.routeECRead(&pkt, group, dwell) {
+		if s.routeECRead(&pkt, group, dwell, reassigned) {
 			pkt.AddLatency(dwell)
 			s.emit(pkt)
 		}
@@ -496,6 +615,11 @@ func (s *Switch) applyFailover(pkt *packet.Packet) {
 			pkt.VSSD = survivor
 			pkt.DstIP = de.ip
 			s.stats.FailedOver++
+			// A stale entry may name a survivor that has since been
+			// repaired onto a replacement; resolve the rewrite through
+			// the replacement table so traffic never targets a member
+			// that no longer serves.
+			s.applyReplaced(pkt)
 		}
 	}
 }

@@ -53,6 +53,32 @@
 // rack failure is Experiment("figmr", ...), also reachable as
 // rackbench -exp figmr with -racks and -crossbw flags.
 //
+// # Recovery lifecycle
+//
+// The cluster heals all the way back, not just survives. When the
+// background reconstructor finishes rebuilding a lost holder's chunks
+// onto its adopting member, the adopter is re-registered as the
+// holder's replacement in every involved ToR's stripe table
+// (switchsim.ReplaceStripeMember): the failover and remote-dead entries
+// are cleared and traffic still addressed to the dead id is rewritten
+// and served directly, so post-repair reads stop paying the degraded
+// k-fetch reconstruction cost. Result.ReintegratedStripes counts the
+// re-registered stripes and Result.DegradedReadsPostRepair — zero when
+// the loop closes correctly — counts stragglers that still degraded
+// afterwards. A failed ToR can likewise be revived
+// (Config.RecoverToRIndex / Config.RecoverToRAt, or Cluster.ReviveToR):
+// the switch returns with blank SRAM, the control plane replays its
+// tables from surviving state, and sibling ToRs drop the remote-dead
+// marks and failover rewrites they held for the rack. Foreground
+// (non-repair) cross-rack traffic — client requests, responses,
+// handoffs, replication messages — is metered on the same spine link as
+// repair transfers, so the two classes contend for bandwidth
+// realistically; Result.ForegroundCrossRackBytes reports it separately
+// from Result.CrossRackRepairBytes. The fail -> repair -> re-integrate
+// -> revive timeline is Experiment("figrl", ...), also reachable as
+// rackbench -exp figrl, which shows degraded-read latency returning to
+// the healthy baseline after re-integration.
+//
 // Quick start:
 //
 //	cfg := rackblox.DefaultConfig()

@@ -161,6 +161,18 @@ func BenchmarkDegradedReadPostRepair(b *testing.B) {
 	runExperiment(b, "figrl", "vs_healthy")
 }
 
+// BenchmarkScenarioDriver regenerates figsc, the scenario-timeline
+// cycle (fail -> revive-server -> catch-up -> fail-again), putting the
+// cluster event driver's hot path — per-event crash/detection
+// scheduling, catch-up repair re-targeting, RestoreStripeMember
+// re-registration — on the benchmark trajectory. The vs_healthy series
+// is the regression guard: post-catch-up and post-heal phases must stay
+// near 1.0x (the 1.1x ceiling is asserted by TestFigSCCycleHealsTwice
+// in internal/experiments).
+func BenchmarkScenarioDriver(b *testing.B) {
+	runExperiment(b, "figsc", "vs_healthy")
+}
+
 // BenchmarkSingleRackRun is the microbenchmark of one end-to-end rack run,
 // useful for profiling the simulator itself.
 func BenchmarkSingleRackRun(b *testing.B) {

@@ -10,19 +10,29 @@
 //	rackbench -exp figec -json auto
 //	rackbench -exp figmr -racks 4 -crossbw 100 -json auto
 //	rackbench -exp figrl -json auto
+//	rackbench -exp figsc -json auto
+//	rackbench -scenario "failrack:0@300ms,revive-server:2@600ms"
 //
 // Scale < 1 shrinks the measured window proportionally (useful for quick
 // looks); 1.0 reproduces the full-length runs recorded in EXPERIMENTS.md.
 //
 // -redundancy runs a single YCSB 50/50 summary with the chosen backend
 // ("replication" or "rsK,M", e.g. rs4,2) instead of a paper experiment.
-// -racks and -crossbw tune the cluster-shaped experiments (figmr and
-// figrl): the rack fault-domain count and the spine bandwidth in MB/s
+// -racks and -crossbw tune the cluster-shaped experiments (figmr, figrl,
+// figsc): the rack fault-domain count and the spine bandwidth in MB/s
 // that cross-rack repair and foreground traffic are metered on. figrl
 // sweeps the recovery lifecycle — fail, repair, re-integrate, revive —
 // and reports each phase's read latency against the healthy baseline
 // (vs_healthy), with foreground spine bytes (fg_cross_mb) separate from
-// repair bytes (repair_cross_mb).
+// repair bytes (repair_cross_mb). figsc sweeps a scenario-timeline cycle
+// — fail, revive-server, catch-up, fail-again — on the same cluster.
+//
+// -scenario runs one lifecycle cluster under a custom fault/recovery
+// timeline (core.Config.Scenario) instead of a paper experiment: comma-
+// separated <kind>:<index>@<time> events with kinds fail-server,
+// fail-rack, fail-tor, revive-server, revive-tor. Malformed specs and
+// invalid timelines (revive-before-fail, double crashes) exit with a
+// usage error.
 // -json FILE writes every produced table as machine-readable JSON
 // ("auto" derives a BENCH_<exp>.json name), so successive runs can be
 // diffed to track the performance trajectory.
@@ -45,6 +55,7 @@ type benchReport struct {
 	Experiments []string             `json:"experiments"`
 	Scale       float64              `json:"scale"`
 	Redundancy  string               `json:"redundancy,omitempty"`
+	Scenario    string               `json:"scenario,omitempty"`
 	Tables      []*experiments.Table `json:"tables"`
 }
 
@@ -54,6 +65,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "measured-window scale in (0,1]")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		redundancy = flag.String("redundancy", "", "run one YCSB summary with this backend: 'replication' or 'rsK,M' (e.g. rs4,2)")
+		scenario   = flag.String("scenario", "", "run one lifecycle cluster under this fault/recovery timeline: comma-separated <kind>:<index>@<time> events (e.g. 'failrack:0@300ms,revive-server:2@600ms')")
 		jsonOut    = flag.String("json", "", "write results as JSON to this file ('auto' derives BENCH_<exp>.json)")
 		racks      = flag.Int("racks", 0, "rack fault-domain count for cluster experiments like figmr (0 = experiment default; figmr needs >= 3 for spread RS(4,2) and raises smaller values)")
 		crossbw    = flag.Float64("crossbw", 0, "cross-rack spine bandwidth in MB/s for cluster experiments (0 = experiment default)")
@@ -71,7 +83,21 @@ func main() {
 
 	var tables []*experiments.Table
 	var ids []string
-	if *redundancy != "" {
+	if *scenario != "" {
+		events, err := parseScenario(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rackbench:", err)
+			os.Exit(2)
+		}
+		ids = []string{"scenario"}
+		t, err := experiments.ScenarioSummary(events, experiments.Scale(*scale), opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rackbench:", err)
+			os.Exit(2)
+		}
+		tables = append(tables, t)
+		fmt.Println(t.Format())
+	} else if *redundancy != "" {
 		spec, err := parseRedundancy(*redundancy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rackbench:", err)
@@ -112,12 +138,16 @@ func main() {
 			if *redundancy != "" {
 				name = "redundancy"
 			}
+			if *scenario != "" {
+				name = "scenario"
+			}
 			path = fmt.Sprintf("BENCH_%s.json", strings.ReplaceAll(name, ",", "_"))
 		}
 		if err := writeJSON(path, benchReport{
 			Experiments: ids,
 			Scale:       *scale,
 			Redundancy:  *redundancy,
+			Scenario:    *scenario,
 			Tables:      tables,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "rackbench:", err)

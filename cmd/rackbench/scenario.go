@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"rackblox/internal/core"
+	"rackblox/internal/sim"
+)
+
+// scenarioGrammar is the -scenario usage string shown on parse errors.
+const scenarioGrammar = "want comma-separated <kind>:<index>@<time> events, " +
+	"e.g. \"failrack:0@300ms,revive-server:2@600ms\"; kinds: fail-server, " +
+	"fail-rack, fail-tor, revive-server, revive-tor (hyphens optional)"
+
+// parseScenario parses the -scenario flag into a typed event timeline.
+// Each event is <kind>:<index>@<time> with <time> in Go duration syntax
+// (300ms, 1.2s); kinds accept both hyphenated and compact spellings.
+// Malformed specs return usage errors — never panics; semantic problems
+// (out-of-range indices, revive-before-fail) are left to the config
+// validator, which reports them as typed *core.FailureSpecErrors.
+func parseScenario(s string) ([]core.Event, error) {
+	var out []core.Event
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("bad -scenario %q: empty event; %s", s, scenarioGrammar)
+		}
+		head, atStr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -scenario event %q: missing @time; %s", part, scenarioGrammar)
+		}
+		kindStr, idxStr, ok := strings.Cut(head, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -scenario event %q: missing :index; %s", part, scenarioGrammar)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -scenario event %q: index %q is not an integer; %s",
+				part, idxStr, scenarioGrammar)
+		}
+		d, err := time.ParseDuration(atStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -scenario event %q: time %q is not a duration; %s",
+				part, atStr, scenarioGrammar)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("bad -scenario event %q: time must not be negative", part)
+		}
+		at := sim.Time(d.Nanoseconds())
+		switch strings.ReplaceAll(strings.ToLower(kindStr), "-", "") {
+		case "failserver":
+			out = append(out, core.FailServer(idx, at))
+		case "failrack":
+			out = append(out, core.FailRack(idx, at))
+		case "failtor":
+			out = append(out, core.FailToR(idx, at))
+		case "reviveserver":
+			out = append(out, core.ReviveServer(idx, at))
+		case "revivetor":
+			out = append(out, core.ReviveToR(idx, at))
+		default:
+			return nil, fmt.Errorf("bad -scenario event %q: unknown kind %q; %s",
+				part, kindStr, scenarioGrammar)
+		}
+	}
+	return out, nil
+}

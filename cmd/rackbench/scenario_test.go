@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rackblox/internal/core"
+	"rackblox/internal/sim"
+)
+
+// TestParseScenario is the table-driven coverage of the -scenario
+// grammar: well-formed specs decode into the typed events they name,
+// and every malformed shape — bad event name, missing @time, missing
+// :index, junk numbers, negative time — comes back as a usage error
+// rather than a panic.
+func TestParseScenario(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    []core.Event
+		errPart string // non-empty = must fail, containing this text
+	}{
+		{"single fail", "fail-server:0@120ms",
+			[]core.Event{core.FailServer(0, 120*sim.Millisecond)}, ""},
+		{"compact spelling and spaces", " failrack:0@300ms , revive-server:2@600ms",
+			[]core.Event{
+				core.FailRack(0, 300*sim.Millisecond),
+				core.ReviveServer(2, 600*sim.Millisecond),
+			}, ""},
+		{"every kind", "fail-server:1@1ms,fail-rack:0@2ms,fail-tor:2@3ms,revive-server:1@4ms,revive-tor:2@5ms",
+			[]core.Event{
+				core.FailServer(1, 1*sim.Millisecond),
+				core.FailRack(0, 2*sim.Millisecond),
+				core.FailToR(2, 3*sim.Millisecond),
+				core.ReviveServer(1, 4*sim.Millisecond),
+				core.ReviveToR(2, 5*sim.Millisecond),
+			}, ""},
+		{"fractional seconds", "revivetor:1@1.5s",
+			[]core.Event{core.ReviveToR(1, 1500*sim.Millisecond)}, ""},
+		{"bad event name", "explode-server:0@120ms", nil, "unknown kind"},
+		{"missing @time", "fail-server:0", nil, "missing @time"},
+		{"missing :index", "fail-server@120ms", nil, "missing :index"},
+		{"non-integer index", "fail-server:abc@120ms", nil, "not an integer"},
+		{"bad duration", "fail-server:0@late", nil, "not a duration"},
+		{"negative time", "fail-server:0@-5ms", nil, "must not be negative"},
+		{"empty event", "fail-server:0@120ms,,fail-server:1@130ms", nil, "empty event"},
+		{"empty string", "", nil, "empty event"},
+	}
+	for _, tc := range cases {
+		got, err := parseScenario(tc.in)
+		if tc.errPart != "" {
+			if err == nil {
+				t.Errorf("%s: parsed %q without error", tc.name, tc.in)
+			} else if !strings.Contains(err.Error(), tc.errPart) {
+				t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errPart)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %d events, want %d", tc.name, len(got), len(tc.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: event %d = %v, want %v", tc.name, i, got[i], tc.want[i])
+			}
+		}
+	}
+}

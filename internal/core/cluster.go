@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"rackblox/internal/packet"
 	"rackblox/internal/sim"
 	"rackblox/internal/switchsim"
@@ -23,9 +25,11 @@ type Cluster struct {
 
 	// ToR failure injection: torFailed flips at the configured instant,
 	// torDetected when the heartbeat detector notices and the surviving
-	// ToRs take over.
+	// ToRs take over; torCrashes counts each ToR's failures so a
+	// detection timer armed by one outage cannot fire for a later one.
 	torFailed   []bool
 	torDetected []bool
+	torCrashes  []int
 
 	// Cross-rack repair accounting: chunk bytes moved over the spine for
 	// degraded reads and background reconstruction.
@@ -37,6 +41,7 @@ type Cluster struct {
 	// classes can be compared while contending for one link.
 	foregroundBytes int64
 	torRevivals     int64
+	serverRevivals  int64
 }
 
 // newCluster wires the topology for r: per-rack ToR switches sharing the
@@ -52,6 +57,7 @@ func newCluster(r *Rack) *Cluster {
 	c.tors = make([]*switchsim.Switch, c.racks)
 	c.torFailed = make([]bool, c.racks)
 	c.torDetected = make([]bool, c.racks)
+	c.torCrashes = make([]int, c.racks)
 	if c.racks > 1 {
 		c.spine = sim.NewBandwidth(r.eng, cfg.CrossRackMBps*1e6)
 	}
@@ -89,6 +95,9 @@ func (c *Cluster) ForegroundBytes() int64 { return c.foregroundBytes }
 
 // ToRRevivals returns how many ToR switches have been revived.
 func (c *Cluster) ToRRevivals() int64 { return c.torRevivals }
+
+// ServerRevivals returns how many crashed servers have been revived.
+func (c *Cluster) ServerRevivals() int64 { return c.serverRevivals }
 
 // SpineUtilization returns the cross-rack link's busy fraction (0 with a
 // single rack).
@@ -171,7 +180,116 @@ func (c *Cluster) crossFetch(bytes int64, done func(sim.Time)) (start, end sim.T
 // failToR takes one rack's ToR down at the injection instant.
 func (c *Cluster) failToR(rack int) {
 	c.torFailed[rack] = true
+	c.torCrashes[rack]++
 	c.tors[rack].SetDown(true)
+}
+
+// scheduleScenario arms the run's compiled timeline on the engine: one
+// crash callback per fail event at its instant, one heartbeat-detection
+// callback three silent periods later, and one revival callback per
+// revive event. The timeline is walked in stable time order; revive
+// events are inserted first so a revival and a detection landing on the
+// same instant execute in the order the legacy one-shot hooks used
+// (revival first) — the legacy-equivalence regression test pins this.
+// Each detection callback is stamped with the crash epoch that armed it
+// and fires only while that epoch's outage persists: a server (or ToR)
+// that revived and crashed again inside the detection window is a new
+// outage whose own detector honors the full three missed heartbeats.
+func (c *Cluster) scheduleScenario(events []Event) {
+	r := c.rack
+	order := append([]Event(nil), events...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].At < order[j].At })
+	detect := sim.Time(missedHeartbeats * HeartbeatInterval)
+	for _, ev := range order {
+		ev := ev
+		switch ev.Kind {
+		case EventReviveServer:
+			r.eng.At(ev.At, func(sim.Time) { c.ReviveServer(ev.Index) })
+		case EventReviveToR:
+			r.eng.At(ev.At, func(sim.Time) { c.ReviveToR(ev.Index) })
+		}
+	}
+	serverEpoch := make(map[int]int)
+	torEpoch := make(map[int]int)
+	for _, ev := range order {
+		ev := ev
+		switch ev.Kind {
+		case EventFailServer:
+			srv := r.servers[ev.Index]
+			serverEpoch[ev.Index]++
+			epoch := serverEpoch[ev.Index]
+			r.eng.At(ev.At, func(sim.Time) {
+				srv.failed = true
+				srv.crashes++
+			})
+			r.eng.At(ev.At+detect, func(sim.Time) {
+				// failed==false: revived before detection, a transient
+				// blip. crashes!=epoch: this detector's outage already
+				// ended and a newer crash owns the server.
+				if srv.failed && srv.crashes == epoch {
+					r.onServerDetectedDead(srv)
+				}
+			})
+		case EventFailRack:
+			lo := ev.Index * c.serversPerRack
+			hi := lo + c.serversPerRack
+			epochs := make([]int, hi-lo)
+			for i := lo; i < hi; i++ {
+				serverEpoch[i]++
+				epochs[i-lo] = serverEpoch[i]
+			}
+			r.eng.At(ev.At, func(sim.Time) {
+				for i := lo; i < hi; i++ {
+					r.servers[i].failed = true
+					r.servers[i].crashes++
+				}
+			})
+			r.eng.At(ev.At+detect, func(sim.Time) {
+				for i := lo; i < hi; i++ {
+					if r.servers[i].failed && r.servers[i].crashes == epochs[i-lo] {
+						r.onServerDetectedDead(r.servers[i])
+					}
+				}
+			})
+		case EventFailToR:
+			torEpoch[ev.Index]++
+			epoch := torEpoch[ev.Index]
+			r.eng.At(ev.At, func(sim.Time) { c.failToR(ev.Index) })
+			r.eng.At(ev.At+detect, func(sim.Time) {
+				if c.torCrashes[ev.Index] == epoch {
+					r.onToRDetectedDead(ev.Index)
+				}
+			})
+		}
+	}
+}
+
+// ReviveServer brings a crashed storage server back online
+// (EventReviveServer, or direct calls from tests and tools). The box
+// returns with blank DRAM and flash, so recovery is more than flipping
+// a bit: every erasure-coded chunk holder it hosted is rebuilt from
+// scratch by the metered reconstructor (catch-up repair re-targeted at
+// the original holder, spilling onto the spine like any other repair)
+// and re-registered under its own id when the last chunk lands;
+// replicated instances re-pair with their survivors via Hermes AddPeer
+// once the failover rewrites are withdrawn. Reviving a healthy or
+// out-of-range server is a no-op returning false.
+func (c *Cluster) ReviveServer(idx int) bool {
+	if idx < 0 || idx >= len(c.rack.servers) {
+		return false
+	}
+	srv := c.rack.servers[idx]
+	if !srv.failed {
+		return false
+	}
+	detected := srv.detected
+	srv.failed = false
+	srv.detected = false
+	c.serverRevivals++
+	if detected {
+		c.rack.onServerRevived(srv)
+	}
+	return true
 }
 
 // ReviveToR un-darkens a failed ToR (Config.RecoverToRIndex, or direct

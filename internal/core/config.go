@@ -214,22 +214,49 @@ type Config struct {
 	Warmup   sim.Time
 	Duration sim.Time
 
+	// Scenario is the run's fault/recovery timeline: an ordered schedule
+	// of typed events (FailServer, FailRack, FailToR, ReviveServer,
+	// ReviveToR), each at its own instant, validated as a whole and
+	// executed by the cluster's event driver. Timelines express what the
+	// deprecated flat fields below cannot: independent event times,
+	// server revival with catch-up repair, and repeated fail/heal
+	// cycles. Mutually exclusive with the flat fields.
+	//
+	//	cfg.Scenario = []core.Event{
+	//		core.FailServer(0, 120*sim.Millisecond),
+	//		core.ReviveServer(0, 300*sim.Millisecond),
+	//		core.FailServer(0, 650*sim.Millisecond),
+	//	}
+	Scenario []Event
+
 	// FailServerIndex injects a server crash at FailServerAt; -1 disables
 	// (the default). Heartbeats detect the failure and the rack fails
 	// traffic over to the surviving replicas (§3.7).
+	//
+	// Deprecated: use Scenario with FailServer(idx, at) instead; the
+	// field compiles to that event.
 	FailServerIndex int
-	FailServerAt    sim.Time
+	// FailServerAt is the shared instant of every flat-field failure.
+	//
+	// Deprecated: Scenario events carry their own independent times.
+	FailServerAt sim.Time
 	// FailServers injects additional server crashes at FailServerAt, so
 	// erasure-coded racks can lose up to m chunk holders per stripe.
 	// Validate rejects duplicate or out-of-range entries with a
 	// *FailureSpecError.
+	//
+	// Deprecated: use Scenario with one FailServer(idx, at) per crash.
 	FailServers []int
 	// FailRackIndex crashes every server of one rack at FailServerAt
 	// (whole-rack power loss); -1 disables (the default).
+	//
+	// Deprecated: use Scenario with FailRack(idx, at) instead.
 	FailRackIndex int
 	// FailToRIndex fails one rack's ToR switch at FailServerAt: the
 	// rack's servers stay alive but unreachable, and surviving ToRs take
 	// over its stripe traffic via inter-switch handoff. -1 disables.
+	//
+	// Deprecated: use Scenario with FailToR(idx, at) instead.
 	FailToRIndex int
 	// RecoverToRIndex revives one rack's ToR at RecoverToRAt
 	// (Cluster.ReviveToR): the switch comes back with blank SRAM, the
@@ -237,8 +264,13 @@ type Config struct {
 	// drop their remote-dead and failover marks for the rack's
 	// now-reachable members. -1 disables (the default); reviving a ToR
 	// that never failed is a no-op.
+	//
+	// Deprecated: use Scenario with ReviveToR(idx, at) instead.
 	RecoverToRIndex int
-	RecoverToRAt    sim.Time
+	// RecoverToRAt is the flat-field ToR revival instant.
+	//
+	// Deprecated: Scenario events carry their own independent times.
+	RecoverToRAt sim.Time
 }
 
 // DefaultConfig returns the paper's default setup scaled to simulation:
@@ -378,6 +410,15 @@ func (c *Config) validateFailureSpec() error {
 		return &FailureSpecError{Field: "RecoverToRIndex", Index: c.RecoverToRIndex,
 			Reason: "RecoverToRAt must be after FailServerAt to revive the failed ToR"}
 	}
+	if c.FailToRIndex >= 0 && c.FailToRIndex == c.FailRackIndex {
+		// Crashing a rack's servers and darkening its ToR at the same
+		// instant double-books one fault domain: the rack crash already
+		// makes every member unreachable and queues its chunks for
+		// repair, so the coincident ToR failure adds nothing but would
+		// double-count the domain against the redundancy budget.
+		return &FailureSpecError{Field: "FailToRIndex", Index: c.FailToRIndex,
+			Reason: "overlaps FailRackIndex; the rack crash already darkens the whole fault domain"}
+	}
 	seen := make(map[int]bool)
 	if j := c.FailRackIndex; j >= 0 {
 		for i := j * c.StorageServers; i < (j+1)*c.StorageServers; i++ {
@@ -433,6 +474,9 @@ func (c *Config) Validate() error {
 		}
 	}
 	if err := c.validateFailureSpec(); err != nil {
+		return err
+	}
+	if err := c.validateScenario(); err != nil {
 		return err
 	}
 	need := c.neededChannelsPerServer()

@@ -47,16 +47,21 @@ type ecGroup struct {
 	// holder, the adopting member that received the rebuilt chunks is
 	// registered as its replacement — reads and writes for the holder's
 	// chunks go to it directly, no longer degraded. crashed marks the
-	// holders whose server died and was queued for repair (a darkened
-	// ToR does not crash holders); failedHolders and
-	// reintegratedHolders track lifecycle progress; reintegratedAt is
-	// when the last outstanding holder completed.
+	// holders whose server died and was queued for repair at least once
+	// (a darkened ToR does not crash holders); repairing marks the
+	// holders with a rebuild outstanding right now, so repeated
+	// fail/heal cycles keep the cumulative failedHolders and
+	// reintegratedHolders counts balanced; reintegratedAt is when the
+	// last outstanding holder completed.
 	replacement map[int]*instance
 	crashed     map[int]bool
+	repairing   map[int]bool
 	// adopterFor pins each lost holder's adopter for the whole repair:
 	// every batch programs onto it and re-integration registers it, so
 	// a reachability change mid-repair cannot desynchronize where the
-	// chunks landed from where reads are steered afterwards.
+	// chunks landed from where reads are steered afterwards. A catch-up
+	// repair after server revival pins the original holder itself — the
+	// returning box is blank, so the rebuild targets it directly.
 	adopterFor          map[int]*instance
 	failedHolders       int
 	reintegratedHolders int
@@ -124,6 +129,7 @@ func (r *Rack) buildGroups() error {
 			recon:       ec.NewReconstructor(),
 			replacement: make(map[int]*instance),
 			crashed:     make(map[int]bool),
+			repairing:   make(map[int]bool),
 			adopterFor:  make(map[int]*instance),
 		}
 		width := spec.Width()
@@ -226,12 +232,13 @@ func (g *ecGroup) adopter(holder int) *instance {
 // bandwidth — and collecting survivors last. Every member holds exactly
 // one chunk of every stripe, so any k of them suffice; the ordering
 // means the read spills onto the cross-rack link only when its own rack
-// cannot muster k healthy chunks.
+// cannot muster k healthy chunks. Holders with a rebuild outstanding
+// are never sources: a revived-but-catching-up member is blank.
 func (g *ecGroup) readSources(coord *instance, now sim.Time) []*instance {
 	out := []*instance{coord}
 	var remote, busy []*instance
-	for _, m := range g.insts {
-		if m == coord || !m.server.reachable() {
+	for i, m := range g.insts {
+		if m == coord || !m.server.reachable() || g.repairing[i] {
 			continue
 		}
 		switch {
@@ -469,26 +476,36 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 	now := r.eng.Now()
 	// The adopter is pinned per holder: the first batch picks it and
 	// every later batch (and the final re-integration) targets the same
-	// member, unless it has since become unreachable and the repair
-	// must restart onto a new one.
+	// member. If it has since become unreachable, the batches already
+	// programmed onto it are gone with it, so the holder's repair
+	// restarts from scratch onto a fresh adopter — counting the dead
+	// adopter's batches toward completion would register a replacement
+	// that never received the early chunks.
 	adopter := g.adopterFor[task.Holder]
 	if adopter == nil || !adopter.server.reachable() {
-		adopter = g.adopter(task.Holder)
-		g.adopterFor[task.Holder] = adopter
-	}
-	if adopter == nil {
-		// Every member is dead; nothing to rebuild onto.
 		g.repairInFlight = false
+		if next := g.adopter(task.Holder); next != nil {
+			r.enqueueHolderRepair(g, task.Holder, next)
+		}
+		// With no reachable member left there is nothing to rebuild
+		// onto; the unrecoverable-read counter exposes the loss.
 		return
 	}
 	sources := []*instance{adopter}
+	if adopter == g.insts[task.Holder] {
+		// Catch-up repair onto the revived original: the target is blank,
+		// so all k chunks come from other survivors.
+		sources = sources[:0]
+	}
 	// Rack-local survivors first, then remote ones (local-first repair).
+	// Holders with their own rebuild outstanding are blank, never sources.
 	for pass := 0; pass < 2; pass++ {
-		for _, m := range g.insts {
+		for j, m := range g.insts {
 			if len(sources) == g.spec.K {
 				break
 			}
-			if m == adopter || m == g.insts[task.Holder] || !m.server.reachable() {
+			if m == adopter || m == g.insts[task.Holder] ||
+				!m.server.reachable() || g.repairing[j] {
 				continue
 			}
 			local := m.server.rackIdx == adopter.server.rackIdx
@@ -538,22 +555,30 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 }
 
 // reintegrate closes the repair loop for one fully rebuilt holder: the
-// adopter that received the reconstructed chunks becomes the holder's
+// member the reconstructor rebuilt onto becomes the holder's
 // replacement. The client's volume map updates immediately (new reads
 // and writes go to the replacement directly), and after the
-// control-plane propagation delay every ToR serving the group swaps the
-// dead member for the replacement in its stripe table
-// (switchsim.ReplaceStripeMember), clearing the failover and
-// remote-dead entries — so post-repair reads stop paying the
-// degraded-reconstruction cost.
+// control-plane propagation delay every ToR serving the group updates
+// its stripe table: an adopting member is swapped in for the dead one
+// (switchsim.ReplaceStripeMember), while a catch-up repair that landed
+// the chunks back on the revived original re-registers the holder under
+// its own id (switchsim.RestoreStripeMember). Either way the failover
+// and remote-dead entries are cleared, so post-repair reads stop paying
+// the degraded-reconstruction cost.
 func (r *Rack) reintegrate(g *ecGroup, holder int) {
-	// Register the adopter the repair actually rebuilt onto — never
+	// Register the member the repair actually rebuilt onto — never
 	// recomputed, so the replacement always holds the chunks.
 	adopter := g.adopterFor[holder]
 	if adopter == nil {
 		return // everyone died since the repair was queued
 	}
+	restored := adopter == g.insts[holder]
 	oldID, newID := g.insts[holder].id, adopter.id
+	// The control-plane updates below are deferred by propagation delay;
+	// if the holder is lost again meanwhile (its repair generation moves
+	// on), the stale registrations must not land.
+	gen := g.recon.Gen(holder)
+	fresh := func() bool { return g.recon.Gen(holder) == gen }
 	hop := r.net.HopLatency(r.eng.Now())
 	var last sim.Time
 	seen := make(map[*switchsim.Switch]bool)
@@ -568,23 +593,36 @@ func (r *Rack) reintegrate(g *ecGroup, holder int) {
 			last = delay
 		}
 		r.eng.After(delay, func(sim.Time) {
-			if tor.Down() {
+			if tor.Down() || !fresh() {
 				return // a dark ToR misses the update; revival replays it
 			}
 			tor.RegisterDest(newID, adopter.server.ip)
-			tor.ReplaceStripeMember(oldID, newID)
+			if restored {
+				tor.RestoreStripeMember(oldID)
+			} else {
+				tor.ReplaceStripeMember(oldID, newID)
+			}
 		})
 	}
 	// The holder counts as re-integrated once the slowest ToR has the
 	// replacement installed; reads issued after this instant are served
 	// directly everywhere.
 	r.eng.After(last, func(sim.Time) {
+		if !fresh() {
+			return
+		}
 		g.replacement[holder] = adopter
-		g.reintegratedHolders++
+		if g.repairing[holder] {
+			g.repairing[holder] = false
+			g.reintegratedHolders++
+		}
 		g.reintegratedAt = r.eng.Now()
 		// Every holder stores one chunk of each of the group's
 		// usedStripes stripes, so one completed holder re-integrates
 		// exactly that many.
 		r.reintegratedStripes += int64(g.usedStripes)
+		if restored {
+			r.restoredHolders++
+		}
 	})
 }

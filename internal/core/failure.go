@@ -21,72 +21,20 @@ const missedHeartbeats = 3
 // declaring the request lost (it was in flight to a server that died).
 const clientTimeout = 100 * sim.Millisecond
 
-// failureConfigured reports whether any server, rack, or ToR failure is
-// injected.
-func (r *Rack) failureConfigured() bool {
-	return r.cfg.FailServerIndex >= 0 || len(r.cfg.FailServers) > 0 ||
-		r.cfg.FailRackIndex >= 0 || r.cfg.FailToRIndex >= 0
-}
-
-// failTargets collects the distinct servers configured to crash; a
-// configured rack failure contributes every server of that rack.
-// Validate has already rejected duplicates and out-of-range indices.
-func (r *Rack) failTargets() []*server {
-	var out []*server
-	seen := make(map[int]bool)
-	add := func(idx int) {
-		if idx < 0 || idx >= len(r.servers) || seen[idx] {
-			return
-		}
-		seen[idx] = true
-		out = append(out, r.servers[idx])
-	}
-	add(r.cfg.FailServerIndex)
-	for _, idx := range r.cfg.FailServers {
-		add(idx)
-	}
-	if j := r.cfg.FailRackIndex; j >= 0 {
-		for i := j * r.cfg.StorageServers; i < (j+1)*r.cfg.StorageServers; i++ {
-			add(i)
-		}
-	}
-	return out
-}
-
-// scheduleFailure arms the configured failure injections. All configured
-// servers (and any whole rack) crash together at FailServerAt — the
-// worst case for an erasure-coded cluster, which must then reconstruct
-// reads from the k surviving chunks of every stripe; a configured ToR
-// failure darkens its rack at the same instant.
+// scheduleFailure compiles the run's fault/recovery timeline —
+// Config.Scenario, or the deprecated flat fields reduced to their event
+// equivalent — and hands it to the cluster's event driver. Validate has
+// already accepted the timeline as a whole, so the driver schedules
+// without further checks.
 func (r *Rack) scheduleFailure() {
-	targets := r.failTargets()
-	torIdx := r.cfg.FailToRIndex
-	if j := r.cfg.RecoverToRIndex; j >= 0 {
-		// ToR revival: un-darken the switch and replay its tables.
-		// Reviving a ToR that never failed (or failed after this
-		// instant) is a no-op inside ReviveToR.
-		r.eng.At(r.cfg.RecoverToRAt, func(sim.Time) { r.cluster.ReviveToR(j) })
+	events := r.cfg.compileScenario()
+	for _, ev := range events {
+		if ev.Kind.fails() {
+			r.anyFailure = true
+			break
+		}
 	}
-	if len(targets) == 0 && torIdx < 0 {
-		return
-	}
-	r.eng.At(r.cfg.FailServerAt, func(sim.Time) {
-		for _, srv := range targets {
-			srv.failed = true
-		}
-		if torIdx >= 0 {
-			r.cluster.failToR(torIdx)
-		}
-	})
-	// The heartbeat detector notices after three silent periods.
-	r.eng.At(r.cfg.FailServerAt+missedHeartbeats*HeartbeatInterval, func(sim.Time) {
-		for _, srv := range targets {
-			r.onServerDetectedDead(srv)
-		}
-		if torIdx >= 0 {
-			r.onToRDetectedDead(torIdx)
-		}
-	})
+	r.cluster.scheduleScenario(events)
 }
 
 // onServerDetectedDead performs the failover: every vSSD instance on the
@@ -116,7 +64,9 @@ func (r *Rack) onServerDetectedDead(dead *server) {
 	// over to an adopting member (reads reconstruct degraded, writes
 	// land on the adopter), the loss is propagated to the sibling ToRs'
 	// stripe tables, and the lost chunks are queued for background
-	// reconstruction in the switch's GC idle windows.
+	// reconstruction in the switch's GC idle windows. A holder that had
+	// healed from an earlier crash (repeated fail/heal cycles) loses its
+	// restored chunks again and re-enters the same pipeline.
 	for _, g := range r.groups {
 		for i, inst := range g.insts {
 			if inst.server != dead {
@@ -129,12 +79,47 @@ func (r *Rack) onServerDetectedDead(dead *server) {
 			r.installFailover(inst, adopter)
 			r.propagateMemberDead(g, inst)
 			g.crashed[i] = true
-			g.adopterFor[i] = adopter
-			g.failedHolders++
-			g.recon.EnqueueChunk(i, g.usedStripes, repairBatchStripes)
-			r.scheduleRepair(g)
+			if g.replacement[i] == inst {
+				// The holder had been restored onto this very server; its
+				// rebuilt chunks are gone with it.
+				g.replacement[i] = nil
+			}
+			r.enqueueHolderRepair(g, i, adopter)
+		}
+		// The dead server may also hold re-integrated replacement chunks
+		// adopted for other holders: those rebuilt chunks are gone with
+		// it, so the holders degrade again and their repair restarts onto
+		// a fresh adopter.
+		for i := range g.insts {
+			repl := g.replacement[i]
+			if repl == nil || repl.server != dead || repl == g.insts[i] {
+				continue
+			}
+			g.replacement[i] = nil
+			adopter := g.adopter(i)
+			if adopter == nil {
+				continue
+			}
+			r.enqueueHolderRepair(g, i, adopter)
 		}
 	}
+}
+
+// enqueueHolderRepair (re)queues the full reconstruction of one lost
+// holder onto the given adopter, discarding any progress a previous
+// repair generation had made (the chunks it rebuilt are lost or stale),
+// and arms the repair pump. The repairing flag keeps the group's
+// failed/reintegrated holder accounting balanced across repeated
+// fail/heal cycles.
+func (r *Rack) enqueueHolderRepair(g *ecGroup, holder int, adopter *instance) {
+	g.adopterFor[holder] = adopter
+	if !g.repairing[holder] {
+		g.repairing[holder] = true
+		g.failedHolders++
+	}
+	g.recon.Reset(holder)
+	g.recon.EnqueueChunk(holder, g.usedStripes, repairBatchStripes)
+	r.scheduleRepair(g)
 }
 
 // installFailover rewrites a dead instance's traffic to its survivor in
@@ -358,6 +343,74 @@ func (r *Rack) replayToR(rackIdx int) {
 	}
 }
 
+// onServerRevived re-integrates a server that returned from a detected
+// crash. The box comes back blank, so the two redundancy backends heal
+// differently: replicated instances re-pair with their survivors —
+// Hermes AddPeer restores the write quorum, the revived node rejoins
+// with an empty key table, and the failover rewrites are withdrawn on
+// every ToR — while erasure-coded holders catch up through the metered
+// reconstructor, which rebuilds their full chunk set from the stripe
+// survivors before re-registering them under their original ids
+// (switchsim.RestoreStripeMember, via the usual reintegrate path).
+func (r *Rack) onServerRevived(srv *server) {
+	for _, pr := range r.pairs {
+		for _, inst := range []*instance{pr.primary, pr.replica} {
+			if inst.server != srv {
+				continue
+			}
+			inst.repl.Rejoin()
+			peer := r.insts[inst.replicaID]
+			if peer == nil {
+				continue
+			}
+			if peer.server.reachable() {
+				// Re-pair: the survivor invalidates the returned replica
+				// again on future writes, and traffic addressed to the
+				// revived member stops being rewritten to the survivor.
+				peer.repl.AddPeer(inst.repl.ID())
+				inst.repl.AddPeer(peer.repl.ID())
+				r.clearPairFailover(inst)
+			} else {
+				// The partner is still down: the revived member serves
+				// the pair alone, absorbing the traffic that was rewritten
+				// toward the (now dead) partner.
+				inst.repl.RemovePeer(peer.repl.ID())
+				r.clearPairFailover(inst)
+				r.installFailover(peer, inst)
+			}
+		}
+	}
+	for _, g := range r.groups {
+		for i, inst := range g.insts {
+			if inst.server != srv || !g.crashed[i] {
+				continue
+			}
+			// Catch-up repair: the returning holder is blank, so its full
+			// chunk set is rebuilt onto it from scratch — whatever a
+			// previous adopter had absorbed is superseded.
+			r.enqueueHolderRepair(g, i, inst)
+		}
+	}
+}
+
+// clearPairFailover withdraws a revived pair member's failover rewrite
+// on every live ToR (control-plane update: one edge hop, plus the spine
+// crossing for other racks), so its traffic is served directly again.
+func (r *Rack) clearPairFailover(inst *instance) {
+	hop := r.net.HopLatency(r.eng.Now())
+	id := inst.id
+	for j, tor := range r.cluster.tors {
+		tor := tor
+		delay := hop + r.cluster.crossLatency(inst.server.rackIdx, j)
+		r.eng.After(delay, func(sim.Time) {
+			if tor.Down() {
+				return
+			}
+			tor.FailoverCleared(id)
+		})
+	}
+}
+
 // watchTimeout arms the client-side loss detector for one request.
 // Erasure-coded requests are retransmitted under a fresh sequence number
 // (stale responses find no state and are dropped): sub-operations in
@@ -366,8 +419,8 @@ func (r *Rack) replayToR(rackIdx int) {
 // steers around the dead holder, so every read eventually completes via
 // degraded reconstruction.
 func (r *Rack) watchTimeout(seq uint64) {
-	if !r.failureConfigured() {
-		return // no failure configured; avoid per-request timer overhead
+	if !r.anyFailure {
+		return // no failure in the timeline; avoid per-request timer overhead
 	}
 	r.eng.After(clientTimeout, func(sim.Time) {
 		st, ok := r.reqs[seq]

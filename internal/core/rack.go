@@ -145,6 +145,10 @@ type Rack struct {
 	// issuing stops at Warmup+Duration; the run drains afterwards.
 	stopIssuing sim.Time
 
+	// anyFailure is set when the compiled scenario timeline injects at
+	// least one failure, arming the per-request client loss detectors.
+	anyFailure bool
+
 	// TraceGC, when set, observes every GC episode (diagnostics).
 	TraceGC func(vssd uint32, gcType packet.GCField, start, end sim.Time, blocks int)
 
@@ -170,6 +174,7 @@ type Rack struct {
 	// recovery-lifecycle counters
 	reintegratedStripes     int64
 	degradedReadsPostRepair int64
+	restoredHolders         int64
 }
 
 // NewRack builds and preconditions a rack per the configuration.

@@ -74,10 +74,16 @@ type Result struct {
 	// healing, excluding steering legitimately caused by the
 	// replacement itself collecting or being unreachable — zero when
 	// the loop closes correctly; ToRRevivals counts dark switches
-	// brought back by Cluster.ReviveToR.
+	// brought back by Cluster.ReviveToR. ServerRevivals counts crashed
+	// servers brought back by a ReviveServer scenario event
+	// (Cluster.ReviveServer), and RestoredHolders the chunk holders
+	// whose catch-up repair landed the full chunk set back on the
+	// revived original server, re-registered under their own ids.
 	ReintegratedStripes     int64
 	DegradedReadsPostRepair int64
 	ToRRevivals             int64
+	ServerRevivals          int64
+	RestoredHolders         int64
 
 	// WriteAmp is the mean write amplification across instances.
 	WriteAmp float64
@@ -135,6 +141,8 @@ func (r *Rack) Run() *Result {
 	res.ReintegratedStripes = r.reintegratedStripes
 	res.DegradedReadsPostRepair = r.degradedReadsPostRepair
 	res.ToRRevivals = r.cluster.torRevivals
+	res.ServerRevivals = r.cluster.serverRevivals
+	res.RestoredHolders = r.restoredHolders
 	for _, g := range r.groups {
 		res.RepairedStripes += int64(g.recon.RepairedStripes())
 		res.RepairPending += int64(g.recon.Pending())

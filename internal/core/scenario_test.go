@@ -1,0 +1,457 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"rackblox/internal/sim"
+	"rackblox/internal/stats"
+)
+
+// fingerprint serializes everything observable about a run except the
+// configuration that produced it: every raw sample plus every counter.
+// Two configs are behaviorally identical iff their fingerprints match
+// byte for byte.
+func fingerprint(t *testing.T, res *Result) string {
+	t.Helper()
+	flat := *res
+	flat.Config = Config{}
+	flat.Recorder = nil
+	b, err := json.Marshal(struct {
+		Result  Result
+		Samples []stats.Sample
+	}{flat, stats.RawSamples(res.Recorder)})
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return string(b)
+}
+
+// TestLegacyFieldsCompileToEquivalentScenario is the API-redesign
+// regression: every deprecated flat-field failure form must produce a
+// Result byte-identical to the explicit Config.Scenario timeline it
+// compiles down to, because both run through the same validator and
+// event driver.
+func TestLegacyFieldsCompileToEquivalentScenario(t *testing.T) {
+	type form struct {
+		name     string
+		legacy   func(*Config)
+		scenario func(*Config)
+	}
+	at := 100 * sim.Millisecond
+	reviveAt := 250 * sim.Millisecond
+	forms := []form{
+		{"single server crash",
+			func(c *Config) {
+				c.FailServerIndex = 0
+				c.FailServerAt = at
+			},
+			func(c *Config) {
+				c.Scenario = []Event{FailServer(0, at)}
+			}},
+		{"multi server crash",
+			func(c *Config) {
+				c.FailServerIndex = 0
+				c.FailServers = []int{1}
+				c.FailServerAt = at
+			},
+			func(c *Config) {
+				c.Scenario = []Event{FailServer(0, at), FailServer(1, at)}
+			}},
+		{"whole rack crash",
+			func(c *Config) {
+				c.FailRackIndex = 1
+				c.FailServerAt = at
+			},
+			func(c *Config) {
+				c.Scenario = []Event{FailRack(1, at)}
+			}},
+		{"tor outage",
+			func(c *Config) {
+				c.FailToRIndex = 1
+				c.FailServerAt = at
+			},
+			func(c *Config) {
+				c.Scenario = []Event{FailToR(1, at)}
+			}},
+		{"tor outage and revival",
+			func(c *Config) {
+				c.FailToRIndex = 1
+				c.FailServerAt = at
+				c.RecoverToRIndex = 1
+				c.RecoverToRAt = reviveAt
+			},
+			func(c *Config) {
+				c.Scenario = []Event{FailToR(1, at), ReviveToR(1, reviveAt)}
+			}},
+	}
+	for _, f := range forms {
+		base := recoveryConfig()
+		base.Duration = 300 * sim.Millisecond
+
+		legacy := base
+		f.legacy(&legacy)
+		lres, err := Run(legacy)
+		if err != nil {
+			t.Fatalf("%s: legacy run: %v", f.name, err)
+		}
+		timeline := base
+		f.scenario(&timeline)
+		sres, err := Run(timeline)
+		if err != nil {
+			t.Fatalf("%s: scenario run: %v", f.name, err)
+		}
+		if lf, sf := fingerprint(t, lres), fingerprint(t, sres); lf != sf {
+			t.Errorf("%s: legacy and scenario runs diverged\nlegacy:   %.220s\nscenario: %.220s",
+				f.name, lf, sf)
+		}
+	}
+}
+
+// TestScenarioValidation walks the timeline validator's rejection rules:
+// every rejection is a typed *FailureSpecError naming the Scenario
+// field, and the rules catch what the flat fields never could express —
+// double crashes, revive-before-fail, and same-instant fault-domain
+// double-booking.
+func TestScenarioValidation(t *testing.T) {
+	at := 100 * sim.Millisecond
+	later := 200 * sim.Millisecond
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string // "" = must be accepted
+	}{
+		{"valid fail heal fail cycle", func(c *Config) {
+			c.Scenario = []Event{
+				FailServer(0, at), ReviveServer(0, later), FailServer(0, 300*sim.Millisecond),
+			}
+		}, ""},
+		{"valid staggered rack then tor", func(c *Config) {
+			c.Scenario = []Event{FailRack(0, at), FailToR(1, later)}
+		}, ""},
+		{"valid revive one server of a crashed rack", func(c *Config) {
+			c.Scenario = []Event{FailRack(0, at), ReviveServer(2, later)}
+		}, ""},
+		{"mixed with legacy fields", func(c *Config) {
+			c.FailServerIndex = 0
+			c.Scenario = []Event{FailServer(1, at)}
+		}, "Scenario"},
+		{"fail-server out of range", func(c *Config) {
+			c.Scenario = []Event{FailServer(99, at)}
+		}, "Scenario"},
+		{"negative event time", func(c *Config) {
+			c.Scenario = []Event{FailServer(0, -1)}
+		}, "Scenario"},
+		{"double crash without revive", func(c *Config) {
+			c.Scenario = []Event{FailServer(0, at), FailServer(0, later)}
+		}, "Scenario"},
+		{"rack crash covers downed server", func(c *Config) {
+			c.Scenario = []Event{FailServer(0, at), FailRack(0, later)}
+		}, "Scenario"},
+		{"revive before fail", func(c *Config) {
+			c.Scenario = []Event{ReviveServer(0, at)}
+		}, "Scenario"},
+		{"revive at the crash instant", func(c *Config) {
+			c.Scenario = []Event{FailServer(0, at), ReviveServer(0, at)}
+		}, "Scenario"},
+		{"revive-tor of a healthy tor", func(c *Config) {
+			c.Scenario = []Event{ReviveToR(0, at)}
+		}, "Scenario"},
+		{"tor fails twice while dark", func(c *Config) {
+			c.Scenario = []Event{FailToR(0, at), FailToR(0, later)}
+		}, "Scenario"},
+		{"same-instant rack and tor double-booking", func(c *Config) {
+			c.Scenario = []Event{FailRack(1, at), FailToR(1, at)}
+		}, "Scenario"},
+		{"same-instant tor and rack double-booking", func(c *Config) {
+			c.Scenario = []Event{FailToR(1, at), FailRack(1, at)}
+		}, "Scenario"},
+		{"unknown event kind", func(c *Config) {
+			c.Scenario = []Event{{Kind: EventKind(42), Index: 0, At: at}}
+		}, "Scenario"},
+		{"legacy tor overlaps legacy rack", func(c *Config) {
+			c.FailRackIndex = 1
+			c.FailToRIndex = 1
+			c.FailServerAt = at
+		}, "FailToRIndex"},
+	}
+	for _, tc := range cases {
+		cfg := recoveryConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if tc.field == "" {
+			if err != nil {
+				t.Errorf("%s: rejected: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var spec *FailureSpecError
+		if !errors.As(err, &spec) {
+			t.Errorf("%s: err = %v, want *FailureSpecError", tc.name, err)
+			continue
+		}
+		if spec.Field != tc.field {
+			t.Errorf("%s: field = %q, want %q", tc.name, spec.Field, tc.field)
+		}
+	}
+}
+
+// TestServerRevivalCatchUpRestores is the new capability the flat
+// fields could not express: a crashed server returns empty mid-run, its
+// lost chunk holder catches up via the metered reconstructor, and the
+// holder is re-registered under its own id — after which no read pays
+// the degraded cost.
+func TestServerRevivalCatchUpRestores(t *testing.T) {
+	cfg := recoveryConfig()
+	cfg.Scenario = []Event{
+		FailServer(0, 100*sim.Millisecond),
+		ReviveServer(0, 250*sim.Millisecond),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerRevivals != 1 {
+		t.Fatalf("ServerRevivals = %d, want 1", res.ServerRevivals)
+	}
+	if res.DegradedReads == 0 {
+		t.Fatal("no degraded reads while the holder was down")
+	}
+	if res.RestoredHolders == 0 {
+		t.Fatal("catch-up repair never restored the holder onto the revived server")
+	}
+	if res.RepairPending != 0 {
+		t.Fatalf("%d repair tasks still pending after catch-up", res.RepairPending)
+	}
+	if res.DegradedReadsPostRepair != 0 {
+		t.Fatalf("%d degraded reads after the restore; revived holder not serving directly",
+			res.DegradedReadsPostRepair)
+	}
+	if res.LostReads != 0 {
+		t.Fatalf("%d reads lost across the revival lifecycle", res.LostReads)
+	}
+}
+
+// TestRepeatedFailHealCycle exercises what motivates the timeline API:
+// the same server fails, heals by catch-up after revival, and fails
+// again — the second loss healing through adopter re-integration — and
+// the cluster still ends fully healed with zero post-repair stragglers.
+func TestRepeatedFailHealCycle(t *testing.T) {
+	cfg := recoveryConfig()
+	cfg.Duration = 850 * sim.Millisecond
+	cfg.Scenario = []Event{
+		FailServer(0, 100*sim.Millisecond),
+		ReviveServer(0, 300*sim.Millisecond),
+		FailServer(0, 600*sim.Millisecond),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerRevivals != 1 {
+		t.Fatalf("ServerRevivals = %d, want 1", res.ServerRevivals)
+	}
+	if res.RestoredHolders == 0 {
+		t.Fatal("first heal never restored the revived holder")
+	}
+	if res.ReintegratedStripes == 0 {
+		t.Fatal("no stripes re-integrated across the cycles")
+	}
+	if res.RepairPending != 0 {
+		t.Fatalf("%d repair tasks still pending after the second heal", res.RepairPending)
+	}
+	if res.DegradedReadsPostRepair != 0 {
+		t.Fatalf("%d degraded reads after healing", res.DegradedReadsPostRepair)
+	}
+	if res.UnrecoverableStripes != 0 || res.LostReads != 0 {
+		t.Fatalf("data lost across cycles: unrecov=%d lostReads=%d",
+			res.UnrecoverableStripes, res.LostReads)
+	}
+}
+
+// TestReviveBeforeDetectionIsTransientBlip: a server that returns
+// before the heartbeat detector fires was a blip, not an outage — no
+// failover may be installed and no repair queued, or reads would be
+// steered away from a healthy member forever.
+func TestReviveBeforeDetectionIsTransientBlip(t *testing.T) {
+	cfg := recoveryConfig()
+	cfg.Scenario = []Event{
+		FailServer(0, 100*sim.Millisecond),
+		ReviveServer(0, 110*sim.Millisecond), // detection would fire at 130ms
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerRevivals != 1 {
+		t.Fatalf("ServerRevivals = %d, want 1", res.ServerRevivals)
+	}
+	if res.Failovers != 0 {
+		t.Fatalf("%d failovers installed for a transient blip", res.Failovers)
+	}
+	if res.ReintegratedStripes != 0 || res.RepairPending != 0 {
+		t.Fatalf("repair ran for a transient blip: reintegrated=%d pending=%d",
+			res.ReintegratedStripes, res.RepairPending)
+	}
+}
+
+// TestAdopterCrashMidRepairRestartsRebuild: when the member adopting a
+// lost holder's chunks dies itself, the batches already rebuilt onto it
+// are gone — the repair must restart from scratch onto a fresh adopter
+// (a new reconstructor generation) instead of counting the dead
+// adopter's batches toward a replacement that never got them.
+func TestAdopterCrashMidRepairRestartsRebuild(t *testing.T) {
+	base := recoveryConfig()
+	// Probe run (no failures) to learn, deterministically, which member
+	// would adopt server 0's holder — adopter choice depends only on
+	// group order and reachability, both identical in the real run.
+	probe, err := NewRack(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var holder, adopterSrv int
+	var groupIdx = -1
+	for gi, g := range probe.groups {
+		for i, inst := range g.insts {
+			if inst.server.index == 0 {
+				groupIdx, holder = gi, i
+				adopterSrv = g.adopter(i).server.index
+			}
+		}
+	}
+	if groupIdx < 0 {
+		t.Fatal("no stripe holder on server 0; test set up wrong")
+	}
+
+	cfg := base
+	cfg.Duration = 600 * sim.Millisecond
+	cfg.Scenario = []Event{
+		FailServer(0, 100*sim.Millisecond),
+		FailServer(adopterSrv, 160*sim.Millisecond),
+	}
+	r, err := NewRack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	g := r.groups[groupIdx]
+	if gen := g.recon.Gen(holder); gen < 2 {
+		t.Fatalf("holder %d repair generation = %d, want >= 2 (restart after adopter death)", holder, gen)
+	}
+	if repl := g.replacement[holder]; repl == nil || !repl.server.reachable() {
+		t.Fatalf("holder %d replacement missing or unreachable after restart", holder)
+	}
+	if res.RepairPending != 0 {
+		t.Fatalf("%d repair tasks never completed", res.RepairPending)
+	}
+	if res.DegradedReadsPostRepair != 0 {
+		t.Fatalf("%d degraded reads after the restarted repair healed", res.DegradedReadsPostRepair)
+	}
+	if res.UnrecoverableStripes != 0 {
+		t.Fatalf("%d stripes unrecoverable; two crashes are within the m=2 budget", res.UnrecoverableStripes)
+	}
+}
+
+// TestRapidFailReviveFailHonorsDetectionWindow: a detection timer armed
+// by one crash must not fire for a later one. Here the server crashes,
+// revives, crashes again, and revives again — all before either crash's
+// three-missed-heartbeats detector could legitimately fire — so both
+// outages are transient blips and no failover may be installed. (The
+// first crash's timer at 130ms would otherwise see the second outage's
+// failed flag and detect it 20ms early.)
+func TestRapidFailReviveFailHonorsDetectionWindow(t *testing.T) {
+	cfg := recoveryConfig()
+	cfg.Scenario = []Event{
+		FailServer(0, 100*sim.Millisecond),
+		ReviveServer(0, 110*sim.Millisecond),
+		FailServer(0, 120*sim.Millisecond), // its own detector fires at 150ms
+		ReviveServer(0, 145*sim.Millisecond),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerRevivals != 2 {
+		t.Fatalf("ServerRevivals = %d, want 2", res.ServerRevivals)
+	}
+	if res.Failovers != 0 {
+		t.Fatalf("%d failovers installed; a stale detection timer fired for the second outage", res.Failovers)
+	}
+	if res.ReintegratedStripes != 0 || res.RepairPending != 0 {
+		t.Fatalf("repair ran for transient blips: reintegrated=%d pending=%d",
+			res.ReintegratedStripes, res.RepairPending)
+	}
+
+	// Same property for ToR outages: the revived-then-darkened-again
+	// switch must not be detected by the first outage's timer.
+	cfg = recoveryConfig()
+	cfg.Scenario = []Event{
+		FailToR(1, 100*sim.Millisecond),
+		ReviveToR(1, 110*sim.Millisecond),
+		FailToR(1, 120*sim.Millisecond),
+		ReviveToR(1, 145*sim.Millisecond),
+	}
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ToRRevivals != 2 {
+		t.Fatalf("ToRRevivals = %d, want 2", res.ToRRevivals)
+	}
+	if res.Failovers != 0 {
+		t.Fatalf("%d failovers installed for transient ToR blips", res.Failovers)
+	}
+}
+
+// TestReplicationRevivalRepairs covers the replication backend's half
+// of server revival: the survivor re-admits the revived peer to its
+// Hermes group (AddPeer), so post-revival writes are replicated to both
+// members again instead of committing alone forever.
+func TestReplicationRevivalRepairs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Warmup = 50 * sim.Millisecond
+	cfg.Duration = 500 * sim.Millisecond
+	cfg.Scenario = []Event{
+		FailServer(0, 100*sim.Millisecond),
+		ReviveServer(0, 300*sim.Millisecond),
+	}
+	r, err := NewRack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	if res.ServerRevivals != 1 {
+		t.Fatalf("ServerRevivals = %d, want 1", res.ServerRevivals)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("crash was never detected")
+	}
+	repaired := 0
+	for _, pr := range r.pairs {
+		for _, inst := range []*instance{pr.primary, pr.replica} {
+			if inst.server != r.servers[0] {
+				continue
+			}
+			partner := r.insts[inst.replicaID]
+			if got := len(partner.repl.Peers()); got != 2 {
+				t.Errorf("pair %d: survivor has %d peers after revival, want 2 (AddPeer missing)",
+					pr.idx, got)
+			}
+			if got := len(inst.repl.Peers()); got != 2 {
+				t.Errorf("pair %d: revived node has %d peers, want 2", pr.idx, got)
+			}
+			repaired++
+		}
+	}
+	if repaired == 0 {
+		t.Fatal("no pair instance lives on the revived server; test set up wrong")
+	}
+	if res.Recorder.Len() < 3000 {
+		t.Fatalf("only %d samples; rack did not keep serving through the cycle", res.Recorder.Len())
+	}
+}

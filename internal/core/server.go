@@ -22,9 +22,13 @@ type server struct {
 	insts   map[uint32]*instance
 
 	// failed marks a crashed server (drops all traffic); detected flips
-	// when the heartbeat monitor notices.
+	// when the heartbeat monitor notices. crashes counts the server's
+	// crash events so a detection timer armed by one crash cannot fire
+	// for a later one (fail -> revive -> fail-again inside the
+	// detection window would otherwise be detected early).
 	failed   bool
 	detected bool
+	crashes  int
 }
 
 // receive handles a packet delivered to this server's NIC.

@@ -10,6 +10,11 @@ type RepairTask struct {
 	// FirstStripe and Stripes delimit the batch.
 	FirstStripe int
 	Stripes     int
+	// Gen is the holder's repair generation at enqueue time (stamped by
+	// Enqueue). Reset advances the generation, so a task claimed before
+	// the reset reports Done as a stale no-op instead of counting toward
+	// the new rebuild.
+	Gen int
 }
 
 // Reconstructor queues and accounts chunk-repair work for one stripe
@@ -26,15 +31,19 @@ type Reconstructor struct {
 	delayed  int
 	// remaining tracks, per lost holder, the stripes still to rebuild.
 	remaining map[int]int
+	// gen is each holder's current repair generation (see Reset).
+	gen map[int]int
 }
 
 // NewReconstructor returns an empty repair queue.
 func NewReconstructor() *Reconstructor {
-	return &Reconstructor{remaining: make(map[int]int)}
+	return &Reconstructor{remaining: make(map[int]int), gen: make(map[int]int)}
 }
 
-// Enqueue adds one repair task.
+// Enqueue adds one repair task, stamping it with the holder's current
+// generation.
 func (r *Reconstructor) Enqueue(t RepairTask) {
+	t.Gen = r.gen[t.Holder]
 	r.pending = append(r.pending, t)
 	r.remaining[t.Holder] += t.Stripes
 }
@@ -68,7 +77,12 @@ func (r *Reconstructor) Next() (t RepairTask, ok bool) {
 // Done records a completed task's stripes and reports whether the
 // task's holder is now fully rebuilt — every stripe enqueued for it has
 // been repaired — so the caller can re-register the replacement holder.
+// A task from a generation superseded by Reset is void: its stripes
+// count toward neither progress nor completion.
 func (r *Reconstructor) Done(t RepairTask) (holderComplete bool) {
+	if t.Gen != r.gen[t.Holder] {
+		return false
+	}
 	r.repaired += t.Stripes
 	left := r.remaining[t.Holder] - t.Stripes
 	if left > 0 {
@@ -82,6 +96,28 @@ func (r *Reconstructor) Done(t RepairTask) (holderComplete bool) {
 // Remaining returns the stripes still to rebuild for one holder (0 once
 // complete or never enqueued).
 func (r *Reconstructor) Remaining(holder int) int { return r.remaining[holder] }
+
+// Reset discards one holder's queued repair work and advances its
+// generation, voiding any task the caller has already claimed but not
+// yet reported Done. Server revival uses it when a returning blank
+// server must be rebuilt from scratch: however far a previous adopter
+// had come, the catch-up re-enqueues the holder's full chunk set.
+func (r *Reconstructor) Reset(holder int) {
+	kept := r.pending[:0]
+	for _, t := range r.pending {
+		if t.Holder != holder {
+			kept = append(kept, t)
+		}
+	}
+	r.pending = kept
+	delete(r.remaining, holder)
+	r.gen[holder]++
+}
+
+// Gen returns one holder's current repair generation (see Reset). The
+// caller can stamp deferred completion work with it and drop the work
+// if the generation has moved on — the holder was lost again.
+func (r *Reconstructor) Gen(holder int) int { return r.gen[holder] }
 
 // Delayed records one admission attempt pushed back by a busy GC window.
 func (r *Reconstructor) Delayed() { r.delayed++ }

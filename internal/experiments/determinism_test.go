@@ -20,16 +20,18 @@ func replayJSON(t *testing.T, id string) []byte {
 	return b
 }
 
-// TestDeterministicReplay runs figec, figmr, and figrl twice with the
-// same seed and asserts byte-identical JSON results. This pins the
-// engine's (time, insertion-order) event ordering and the per-component
-// RNG fork discipline (internal/sim/rng.go): any refactor that lets map
-// iteration or wall-clock state leak into the event loop shows up here
-// as a diff. figrl additionally covers the recovery-lifecycle paths —
+// TestDeterministicReplay runs figec, figmr, figrl, and figsc twice
+// with the same seed and asserts byte-identical JSON results. This pins
+// the engine's (time, insertion-order) event ordering and the
+// per-component RNG fork discipline (internal/sim/rng.go): any refactor
+// that lets map iteration or wall-clock state leak into the event loop
+// shows up here as a diff. figrl covers the recovery-lifecycle paths —
 // chunk repair, switch re-integration, ToR revival with table replay —
-// whose control-plane fan-out is the newest source of ordering hazards.
+// and figsc the scenario event driver with server revival and catch-up
+// repair, whose control-plane fan-out is the newest source of ordering
+// hazards.
 func TestDeterministicReplay(t *testing.T) {
-	for _, id := range []string{"figec", "figmr", "figrl"} {
+	for _, id := range []string{"figec", "figmr", "figrl", "figsc"} {
 		first := replayJSON(t, id)
 		second := replayJSON(t, id)
 		if string(first) != string(second) {

@@ -887,6 +887,133 @@ func FigRL(scale Scale, opt Options) *Table {
 	return t
 }
 
+// scTimeline fixes the scenario-cycle instants (absolute virtual times,
+// deliberately not scaled, like the figrl timeline: repair needs real
+// room to finish; Scale only shrinks the measured windows).
+const (
+	scFailAt   = 120 * sim.Millisecond
+	scReviveAt = 300 * sim.Millisecond
+	// scHealedBy is when the first cycle is expected fully healed:
+	// detection (~30ms), degraded service, then catch-up repair onto the
+	// revived blank server and RestoreStripeMember re-registration.
+	scHealedBy = 550 * sim.Millisecond
+	// scFail2At crashes the same server again after the first heal; its
+	// loss now heals the PR-3 way (adopter re-integration), proving the
+	// cycle can repeat indefinitely.
+	scFail2At   = 650 * sim.Millisecond
+	scHealed2By = 1050 * sim.Millisecond
+)
+
+// FigSC sweeps a scenario timeline the flat failure fields could never
+// express: fail -> revive-server -> catch-up -> fail-again. A storage
+// server crashes, returns blank mid-run (core.ReviveServer), catches up
+// via the metered reconstructor, and is re-registered under its own id
+// (switchsim.RestoreStripeMember) — degraded_post_repair is 0 and read
+// latency returns to the healthy baseline (vs_healthy ~ 1). The same
+// server then crashes again, and the second loss heals through adopter
+// re-integration, showing repeated fail/heal cycles compose. Every row
+// measures the same-length window, so latencies are comparable.
+func FigSC(scale Scale, opt Options) *Table {
+	t := &Table{ID: "FigSC",
+		Title: "Scenario timeline: fail -> revive -> catch-up -> fail-again",
+		Cols: []string{"read_mean_ms", "read_p99_ms", "vs_healthy", "degraded",
+			"degraded_post_repair", "reintegrated_stripes", "restored_holders",
+			"server_revivals", "repair_pending", "lost_reads"}}
+	window := scale.duration(300 * sim.Millisecond)
+	cycle := []core.Event{
+		core.FailServer(0, scFailAt),
+		core.ReviveServer(0, scReviveAt),
+	}
+	again := append(append([]core.Event(nil), cycle...), core.FailServer(0, scFail2At))
+	type phase struct {
+		series, x string
+		measure   sim.Time // measured window start (Warmup)
+		events    []core.Event
+	}
+	phases := []phase{
+		{"healthy", "baseline", scHealedBy, nil},
+		{"fail+revive", "degraded", scFailAt, cycle},
+		{"fail+revive", "post-catch-up", scHealedBy, cycle},
+		{"fail-again", "degraded-again", scFail2At, again},
+		{"fail-again", "post-heal", scHealed2By, again},
+	}
+	var healthyMean float64
+	for _, ph := range phases {
+		cfg := rlConfig(scale, opt)
+		cfg.Warmup = ph.measure
+		cfg.Duration = window
+		cfg.Scenario = ph.events
+		res, err := core.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		reads := res.Recorder.Reads()
+		mean := reads.Mean() / 1e6
+		if ph.series == "healthy" {
+			healthyMean = mean
+		}
+		ratio := 0.0
+		if healthyMean > 0 {
+			ratio = mean / healthyMean
+		}
+		t.Rows = append(t.Rows, Row{Series: ph.series, X: ph.x,
+			Values: map[string]float64{
+				"read_mean_ms":         mean,
+				"read_p99_ms":          ms(reads.P99()),
+				"vs_healthy":           ratio,
+				"degraded":             float64(res.DegradedReads),
+				"degraded_post_repair": float64(res.DegradedReadsPostRepair),
+				"reintegrated_stripes": float64(res.ReintegratedStripes),
+				"restored_holders":     float64(res.RestoredHolders),
+				"server_revivals":      float64(res.ServerRevivals),
+				"repair_pending":       float64(res.RepairPending),
+				"lost_reads":           float64(res.LostReads),
+			}})
+	}
+	return t
+}
+
+// ScenarioSummary runs the recovery-lifecycle cluster under one
+// caller-supplied scenario timeline (cmd/rackbench -scenario) and
+// tabulates the run's read latencies and lifecycle counters. The
+// measured window opens after warmup and spans the whole timeline, so
+// every event's effects land in one set of counters.
+func ScenarioSummary(events []core.Event, scale Scale, opt Options) (*Table, error) {
+	cfg := rlConfig(scale, opt)
+	cfg.Warmup = 50 * sim.Millisecond
+	cfg.Duration = scale.duration(1000 * sim.Millisecond)
+	cfg.Scenario = events
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reads := res.Recorder.Reads()
+	t := &Table{
+		ID:    "Scenario",
+		Title: fmt.Sprintf("Scenario timeline with %d events", len(events)),
+		Cols: []string{"read_mean_ms", "read_p99_ms", "degraded",
+			"degraded_post_repair", "reintegrated_stripes", "restored_holders",
+			"server_revivals", "tor_revivals", "repair_pending", "lost_reads"},
+	}
+	for _, ev := range events {
+		t.Rows = append(t.Rows, Row{Series: "event", X: ev.String(), Values: map[string]float64{}})
+	}
+	t.Rows = append(t.Rows, Row{Series: "run", X: "whole timeline",
+		Values: map[string]float64{
+			"read_mean_ms":         reads.Mean() / 1e6,
+			"read_p99_ms":          ms(reads.P99()),
+			"degraded":             float64(res.DegradedReads),
+			"degraded_post_repair": float64(res.DegradedReadsPostRepair),
+			"reintegrated_stripes": float64(res.ReintegratedStripes),
+			"restored_holders":     float64(res.RestoredHolders),
+			"server_revivals":      float64(res.ServerRevivals),
+			"tor_revivals":         float64(res.ToRRevivals),
+			"repair_pending":       float64(res.RepairPending),
+			"lost_reads":           float64(res.LostReads),
+		}})
+	return t, nil
+}
+
 // RedundancySummary runs one YCSB 50/50 benchmark with the chosen
 // redundancy backend on a six-server rack and tabulates the headline
 // metrics (cmd/rackbench's -redundancy flag).
@@ -926,7 +1053,7 @@ func All() []string {
 		"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
 		"fig22", "fig23", "predictor", "gcablation", "figec", "figmr",
-		"figrl",
+		"figrl", "figsc",
 	}
 }
 
@@ -980,6 +1107,8 @@ func ByIDWith(id string, scale Scale, opt Options) ([]*Table, error) {
 		return []*Table{FigMR(scale, opt)}, nil
 	case "figrl":
 		return []*Table{FigRL(scale, opt)}, nil
+	case "figsc":
+		return []*Table{FigSC(scale, opt)}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }

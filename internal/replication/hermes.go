@@ -199,6 +199,38 @@ func (n *Node) commit(lpn uint32, pw *pendingWrite) {
 	}
 }
 
+// AddPeer re-admits a peer after revival: future writes invalidate it
+// again, restoring full-group durability. Idempotent — re-adding a
+// present peer changes nothing. In-flight writes keep their original
+// quorum; only writes started after the re-pairing wait for the
+// returned node's acks.
+func (n *Node) AddPeer(peer int) {
+	for _, p := range n.peers {
+		if p == peer {
+			return
+		}
+	}
+	n.peers = append(n.peers, peer)
+}
+
+// Peers returns the node's current peer group (introspection, tests).
+func (n *Node) Peers() []int { return append([]int(nil), n.peers...) }
+
+// Rejoin resets the node's per-key replica state and in-flight writes
+// while keeping its identity, peer list, and Lamport clock: the model
+// of a revived server whose DRAM and flash are gone rejoining the
+// group empty. Superseded in-flight writes release their callbacks so
+// no client waits on a commit that can never happen.
+func (n *Node) Rejoin() {
+	for _, pw := range n.pending {
+		if pw.onCommit != nil {
+			pw.onCommit()
+		}
+	}
+	n.keys = make(map[uint32]*keyState)
+	n.pending = make(map[uint32]*pendingWrite)
+}
+
 // RemovePeer degrades the group after peer death: in-flight writes stop
 // waiting for the dead node's acks and future writes skip it. With a
 // two-node group the survivor commits alone, which matches the paper's

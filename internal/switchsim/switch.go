@@ -273,6 +273,40 @@ func (s *Switch) ReplaceStripeMember(old, replacement uint32) {
 	delete(s.remoteDead, old)
 }
 
+// RestoreStripeMember re-registers a member under its own id after a
+// catch-up repair rebuilt its chunks back onto the original server
+// (server revival): the failover rewrite and remote-dead mark are
+// dropped, and if a replacement alias had been installed it is removed
+// and the member takes back a slot in its group row — chasing the
+// replacement chain in case the alias target was itself later repaired
+// elsewhere. A no-op for members with no stripe state here.
+func (s *Switch) RestoreStripeMember(id uint32) {
+	group, ok := s.stripe[id]
+	if !ok {
+		return
+	}
+	delete(s.failover, id)
+	delete(s.remoteDead, id)
+	cur, ok := s.replaced[id]
+	if !ok {
+		return
+	}
+	delete(s.replaced, id)
+	for i := 0; i < 16; i++ {
+		nxt, ok2 := s.replaced[cur]
+		if !ok2 || nxt == cur {
+			break
+		}
+		cur = nxt
+	}
+	for i, m := range group {
+		if m == cur {
+			group[i] = id
+			return
+		}
+	}
+}
+
 // ReplacedBy returns the replacement holder registered for a repaired
 // member, if any.
 func (s *Switch) ReplacedBy(id uint32) (uint32, bool) {

@@ -65,19 +65,64 @@
 // k-fetch reconstruction cost. Result.ReintegratedStripes counts the
 // re-registered stripes and Result.DegradedReadsPostRepair — zero when
 // the loop closes correctly — counts stragglers that still degraded
-// afterwards. A failed ToR can likewise be revived
-// (Config.RecoverToRIndex / Config.RecoverToRAt, or Cluster.ReviveToR):
-// the switch returns with blank SRAM, the control plane replays its
-// tables from surviving state, and sibling ToRs drop the remote-dead
-// marks and failover rewrites they held for the rack. Foreground
-// (non-repair) cross-rack traffic — client requests, responses,
-// handoffs, replication messages — is metered on the same spine link as
-// repair transfers, so the two classes contend for bandwidth
-// realistically; Result.ForegroundCrossRackBytes reports it separately
-// from Result.CrossRackRepairBytes. The fail -> repair -> re-integrate
-// -> revive timeline is Experiment("figrl", ...), also reachable as
+// afterwards. A failed ToR can likewise be revived: the switch returns
+// with blank SRAM, the control plane replays its tables from surviving
+// state, and sibling ToRs drop the remote-dead marks and failover
+// rewrites they held for the rack. Foreground (non-repair) cross-rack
+// traffic — client requests, responses, handoffs, replication messages
+// — is metered on the same spine link as repair transfers, so the two
+// classes contend for bandwidth realistically;
+// Result.ForegroundCrossRackBytes reports it separately from
+// Result.CrossRackRepairBytes. The fail -> repair -> re-integrate ->
+// revive timeline is Experiment("figrl", ...), also reachable as
 // rackbench -exp figrl, which shows degraded-read latency returning to
 // the healthy baseline after re-integration.
+//
+// # Scenario timelines
+//
+// Failure injection is a typed, ordered event schedule: Config.Scenario
+// is a slice of Events — FailServer, FailRack, FailToR, ReviveServer,
+// ReviveToR — each carrying its own instant, validated as a whole
+// (ordering, index ranges, no double-crash of a down server,
+// revive-before-fail rejected, same-instant rack+ToR double-booking
+// rejected) with typed *FailureSpecError rejections, and executed by
+// the cluster's event driver:
+//
+//	cfg := rackblox.DefaultConfig()
+//	cfg.Scenario = []rackblox.Event{
+//		rackblox.FailServer(0, 120_000_000),   // crash at 120ms
+//		rackblox.ReviveServer(0, 300_000_000), // return blank at 300ms
+//		rackblox.FailServer(0, 650_000_000),   // crash again at 650ms
+//	}
+//
+// Timelines express what the deprecated flat fields (FailServerIndex,
+// FailServers, FailRackIndex, FailToRIndex, RecoverToRIndex — all
+// sharing the single FailServerAt/RecoverToRAt instant) never could:
+// independent event times, repeated fail/heal cycles, and server
+// revival. A revived server returns with blank DRAM and flash, so the
+// recovery is earned: every erasure-coded chunk holder it hosted is
+// rebuilt from scratch by the metered reconstructor (catch-up repair,
+// contending for the same spine bandwidth as any other repair) and
+// re-registered under its original id when the last chunk lands
+// (switchsim.RestoreStripeMember); under replication the survivor
+// re-admits the returned peer to its Hermes group (AddPeer), restoring
+// the full write quorum. Result.ServerRevivals and
+// Result.RestoredHolders count the lifecycle. The flat fields remain as
+// deprecated shims that compile down to an equivalent timeline through
+// the same validator and driver, so legacy configs produce byte-
+// identical results; migrate by replacing, e.g.,
+//
+//	cfg.FailServerIndex = 3            // deprecated
+//	cfg.FailServerAt = 250 * ms        //
+//
+// with
+//
+//	cfg.Scenario = []rackblox.Event{rackblox.FailServer(3, 250*ms)}
+//
+// The fail -> revive -> catch-up -> fail-again cycle is
+// Experiment("figsc", ...), also reachable as rackbench -exp figsc, and
+// rackbench -scenario "failrack:0@300ms,revive-server:2@600ms" runs a
+// one-off custom timeline.
 //
 // Quick start:
 //
@@ -172,9 +217,48 @@ const (
 )
 
 // FailureSpecError is the typed validation error for failure-injection
-// configuration (duplicate or out-of-range FailServers entries, bad rack
-// or ToR indices).
+// configuration: malformed Config.Scenario timelines (out-of-range
+// indices, double crashes, revive-before-fail, same-instant fault-
+// domain double-booking) and invalid legacy flat fields.
 type FailureSpecError = core.FailureSpecError
+
+// Event is one typed entry of a scenario timeline (Config.Scenario): a
+// fault or recovery action applied to a server or rack index at its own
+// virtual-time instant.
+type Event = core.Event
+
+// EventKind discriminates the scenario event union.
+type EventKind = core.EventKind
+
+// The scenario event kinds; build events with the constructors below.
+const (
+	EventFailServer   = core.EventFailServer
+	EventFailRack     = core.EventFailRack
+	EventFailToR      = core.EventFailToR
+	EventReviveServer = core.EventReviveServer
+	EventReviveToR    = core.EventReviveToR
+)
+
+// FailServer schedules a crash of global server idx at virtual time at
+// (nanoseconds).
+func FailServer(idx int, at int64) Event { return core.FailServer(idx, at) }
+
+// FailRack schedules a whole-rack crash of rack idx at time at.
+func FailRack(idx int, at int64) Event { return core.FailRack(idx, at) }
+
+// FailToR schedules a ToR-switch failure of rack idx at time at: the
+// rack's servers stay alive but unreachable, no data is lost.
+func FailToR(idx int, at int64) Event { return core.FailToR(idx, at) }
+
+// ReviveServer schedules the revival of crashed server idx at time at:
+// the box returns blank, catches up via the metered reconstructor, and
+// is re-registered under its original id; replicated instances re-pair
+// with their survivors.
+func ReviveServer(idx int, at int64) Event { return core.ReviveServer(idx, at) }
+
+// ReviveToR schedules the revival of rack idx's failed ToR at time at:
+// blank SRAM, control-plane table replay from survivors.
+func ReviveToR(idx int, at int64) Event { return core.ReviveToR(idx, at) }
 
 // ECSpec is the RS(k,m) parameterization of the erasure-coding subsystem.
 type ECSpec = ec.Spec

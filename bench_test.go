@@ -173,6 +173,18 @@ func BenchmarkScenarioDriver(b *testing.B) {
 	runExperiment(b, "figsc", "vs_healthy")
 }
 
+// BenchmarkRepairPacer regenerates figslo, the SLO-aware repair pacing
+// comparison (healthy baseline, unpaced repair, paced repair on the
+// figsc repeated-fault timeline over a scarce spine), putting the
+// pacer's hot path — per-read window observations, AIMD ticks, token-
+// lane wakeups, split repair claims — on the benchmark trajectory. The
+// p99_ms series is the regression guard: the paced row must stay under
+// slo_target_ms while unpaced blows far past it (asserted by
+// TestFigSLOPacingHoldsSLO in internal/experiments).
+func BenchmarkRepairPacer(b *testing.B) {
+	runExperiment(b, "figslo", "p99_ms")
+}
+
 // BenchmarkSingleRackRun is the microbenchmark of one end-to-end rack run,
 // useful for profiling the simulator itself.
 func BenchmarkSingleRackRun(b *testing.B) {

@@ -11,7 +11,9 @@
 //	rackbench -exp figmr -racks 4 -crossbw 100 -json auto
 //	rackbench -exp figrl -json auto
 //	rackbench -exp figsc -json auto
+//	rackbench -exp figslo -repair-slo 5ms
 //	rackbench -scenario "failrack:0@300ms,revive-server:2@600ms"
+//	rackbench -scenario "fail-server:0@120ms" -repair-slo 4ms
 //
 // Scale < 1 shrinks the measured window proportionally (useful for quick
 // looks); 1.0 reproduces the full-length runs recorded in EXPERIMENTS.md.
@@ -33,6 +35,12 @@
 // fail-rack, fail-tor, revive-server, revive-tor. Malformed specs and
 // invalid timelines (revive-before-fail, double crashes) exit with a
 // usage error.
+// -repair-slo sets the foreground read p99 target of the SLO-aware
+// repair pacer (core.Config.RepairSLO): figslo uses it in place of its
+// auto-derived target, and -scenario runs gain a paced repair lane; the
+// figslo experiment compares pacing off vs on on the figsc repeated-
+// fault timeline and reports the repair-time vs foreground-latency
+// trade-off.
 // -json FILE writes every produced table as machine-readable JSON
 // ("auto" derives a BENCH_<exp>.json name), so successive runs can be
 // diffed to track the performance trajectory.
@@ -69,9 +77,11 @@ func main() {
 		jsonOut    = flag.String("json", "", "write results as JSON to this file ('auto' derives BENCH_<exp>.json)")
 		racks      = flag.Int("racks", 0, "rack fault-domain count for cluster experiments like figmr (0 = experiment default; figmr needs >= 3 for spread RS(4,2) and raises smaller values)")
 		crossbw    = flag.Float64("crossbw", 0, "cross-rack spine bandwidth in MB/s for cluster experiments (0 = experiment default)")
+		repairSLO  = flag.Duration("repair-slo", 0, "foreground read p99 SLO target for repair pacing, as a Go duration (e.g. 5ms): overrides figslo's auto-derived target and enables the pacer for -scenario runs (0 = figslo auto-derives, -scenario runs unpaced)")
 	)
 	flag.Parse()
-	opt := experiments.Options{Racks: *racks, CrossBWMBps: *crossbw}
+	opt := experiments.Options{Racks: *racks, CrossBWMBps: *crossbw,
+		RepairSLOTarget: repairSLO.Nanoseconds()}
 
 	if *list {
 		fmt.Println("experiments:")

@@ -18,7 +18,11 @@ const scenarioGrammar = "want comma-separated <kind>:<index>@<time> events, " +
 // parseScenario parses the -scenario flag into a typed event timeline.
 // Each event is <kind>:<index>@<time> with <time> in Go duration syntax
 // (300ms, 1.2s); kinds accept both hyphenated and compact spellings.
-// Malformed specs return usage errors — never panics; semantic problems
+// Every token is whitespace-trimmed before interpretation, so an index
+// parses the same whether written "fail-server:2", "fail-server: 2", or
+// "fail-server:+2" — strconv.Atoi on the trimmed token is the single
+// rule, rather than one spelling working and another failing. Malformed
+// specs return usage errors — never panics; semantic problems
 // (out-of-range indices, revive-before-fail) are left to the config
 // validator, which reports them as typed *core.FailureSpecErrors.
 func parseScenario(s string) ([]core.Event, error) {
@@ -36,9 +40,12 @@ func parseScenario(s string) ([]core.Event, error) {
 		if !ok {
 			return nil, fmt.Errorf("bad -scenario event %q: missing :index; %s", part, scenarioGrammar)
 		}
+		kindStr = strings.TrimSpace(kindStr)
+		idxStr = strings.TrimSpace(idxStr)
+		atStr = strings.TrimSpace(atStr)
 		idx, err := strconv.Atoi(idxStr)
 		if err != nil {
-			return nil, fmt.Errorf("bad -scenario event %q: index %q is not an integer; %s",
+			return nil, fmt.Errorf("bad -scenario event %q: index %q is not a decimal integer (optional sign, digits); %s",
 				part, idxStr, scenarioGrammar)
 		}
 		d, err := time.ParseDuration(atStr)

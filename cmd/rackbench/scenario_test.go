@@ -37,10 +37,20 @@ func TestParseScenario(t *testing.T) {
 			}, ""},
 		{"fractional seconds", "revivetor:1@1.5s",
 			[]core.Event{core.ReviveToR(1, 1500*sim.Millisecond)}, ""},
+		{"explicit plus sign", "fail-server:+2@120ms",
+			[]core.Event{core.FailServer(2, 120*sim.Millisecond)}, ""},
+		{"whitespace around every token", "fail-server : 2 @ 120ms",
+			[]core.Event{core.FailServer(2, 120*sim.Millisecond)}, ""},
+		{"tabs and plus together", "\tfail-tor\t: +1 @\t3ms\t",
+			[]core.Event{core.FailToR(1, 3*sim.Millisecond)}, ""},
+		{"spaced index parses like bare index", "revive-server:  0  @600ms",
+			[]core.Event{core.ReviveServer(0, 600*sim.Millisecond)}, ""},
 		{"bad event name", "explode-server:0@120ms", nil, "unknown kind"},
 		{"missing @time", "fail-server:0", nil, "missing @time"},
 		{"missing :index", "fail-server@120ms", nil, "missing :index"},
-		{"non-integer index", "fail-server:abc@120ms", nil, "not an integer"},
+		{"non-integer index", "fail-server:abc@120ms", nil, "not a decimal integer"},
+		{"inner whitespace in index", "fail-server:1 2@120ms", nil, "not a decimal integer"},
+		{"hex index rejected", "fail-server:0x1@120ms", nil, "not a decimal integer"},
 		{"bad duration", "fail-server:0@late", nil, "not a duration"},
 		{"negative time", "fail-server:0@-5ms", nil, "must not be negative"},
 		{"empty event", "fail-server:0@120ms,,fail-server:1@130ms", nil, "empty event"},

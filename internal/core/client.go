@@ -270,6 +270,12 @@ func (r *Rack) clientReceive(pkt packet.Packet) {
 	delete(r.reqs, pkt.Seq)
 	st.decInflight()
 	now := r.eng.Now()
+	if r.pacer != nil && !st.write {
+		// The controller's latency sensor sees every completed foreground
+		// read, warmup included: it is a live feedback loop, not a
+		// measurement artifact.
+		r.pacer.observeRead(now - st.issue)
+	}
 	if st.issue < r.cfg.Warmup {
 		return // warmup sample
 	}

@@ -32,16 +32,23 @@ type Cluster struct {
 	torCrashes  []int
 
 	// Cross-rack repair accounting: chunk bytes moved over the spine for
-	// degraded reads and background reconstruction.
-	crossRepairBytes int64
-	crossFetches     int64
+	// degraded reads and background reconstruction. The delivered
+	// counter advances only when a transfer's last byte clears the link;
+	// the offered counter keeps the enqueue-time meaning, so a run that
+	// ends mid-transfer reports delivered < offered instead of claiming
+	// bytes the spine never finished moving.
+	crossRepairBytes   int64
+	crossRepairOffered int64
+	crossFetches       int64
 	// Foreground accounting: client/stripe packet bytes metered on the
 	// same spine (handoffs, cross-rack requests, responses, replication
 	// messages), kept separate from repair bytes so the two traffic
-	// classes can be compared while contending for one link.
-	foregroundBytes int64
-	torRevivals     int64
-	serverRevivals  int64
+	// classes can be compared while contending for one link. Delivered/
+	// offered split as for repair bytes.
+	foregroundBytes   int64
+	foregroundOffered int64
+	torRevivals       int64
+	serverRevivals    int64
 }
 
 // newCluster wires the topology for r: per-rack ToR switches sharing the
@@ -85,13 +92,21 @@ func (c *Cluster) Tor(rack int) *switchsim.Switch { return c.tors[rack] }
 // TorDown reports whether a rack's ToR has failed (isolating the rack).
 func (c *Cluster) TorDown(rack int) bool { return c.torFailed[rack] }
 
-// CrossRepairBytes returns the chunk bytes repair traffic moved over the
-// spine so far.
+// CrossRepairBytes returns the chunk bytes repair traffic has fully
+// moved over the spine so far (transfers still in flight excluded).
 func (c *Cluster) CrossRepairBytes() int64 { return c.crossRepairBytes }
 
-// ForegroundBytes returns the foreground (non-repair) bytes metered on
-// the spine so far.
+// CrossRepairBytesOffered returns the repair bytes handed to the spine,
+// counted at enqueue — the old meaning of CrossRepairBytes.
+func (c *Cluster) CrossRepairBytesOffered() int64 { return c.crossRepairOffered }
+
+// ForegroundBytes returns the foreground (non-repair) bytes the spine
+// has fully delivered so far.
 func (c *Cluster) ForegroundBytes() int64 { return c.foregroundBytes }
+
+// ForegroundBytesOffered returns the foreground bytes handed to the
+// spine, counted at enqueue.
+func (c *Cluster) ForegroundBytesOffered() int64 { return c.foregroundOffered }
 
 // ToRRevivals returns how many ToR switches have been revived.
 func (c *Cluster) ToRRevivals() int64 { return c.torRevivals }
@@ -147,8 +162,8 @@ func (c *Cluster) meterForeground(bytes int64) sim.Time {
 	if c.spine == nil || bytes <= 0 {
 		return 0
 	}
-	c.foregroundBytes += bytes
-	_, end := c.spine.Transfer(bytes, nil)
+	c.foregroundOffered += bytes
+	_, end := c.spine.Transfer(bytes, func(_, _ sim.Time) { c.foregroundBytes += bytes })
 	return end - c.rack.eng.Now()
 }
 
@@ -168,13 +183,14 @@ func (c *Cluster) handoff(pkt packet.Packet, rack int) {
 // the link, so aggregate repair throughput can never exceed the
 // configured cross-rack bandwidth.
 func (c *Cluster) crossFetch(bytes int64, done func(sim.Time)) (start, end sim.Time) {
-	c.crossRepairBytes += bytes
+	c.crossRepairOffered += bytes
 	c.crossFetches++
-	var cb func(sim.Time, sim.Time)
-	if done != nil {
-		cb = func(_, e sim.Time) { done(e) }
-	}
-	return c.spine.Transfer(bytes, cb)
+	return c.spine.Transfer(bytes, func(_, e sim.Time) {
+		c.crossRepairBytes += bytes
+		if done != nil {
+			done(e)
+		}
+	})
 }
 
 // failToR takes one rack's ToR down at the injection instant.

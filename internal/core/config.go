@@ -141,6 +141,16 @@ type Config struct {
 	// CrossRackLatency is the added one-way latency of a spine crossing
 	// (ToR -> aggregation -> ToR), on top of the per-hop edge latency.
 	CrossRackLatency sim.Time
+	// RepairSLO enables the latency-SLO-aware repair rate controller on
+	// the spine: a RepairPacer observes foreground read latency over a
+	// sliding window and AIMD-adjusts the repair admission rate between
+	// the configured bounds so background reconstruction never holds the
+	// foreground p99 above RepairSLO.TargetP99 for long, while the
+	// MinRateMBps floor guarantees repair still completes. The zero
+	// value disables pacing (repair admitted whenever GC idle windows
+	// allow, as before). Requires Racks > 1 — pacing meters the shared
+	// cross-rack spine.
+	RepairSLO RepairSLO
 	// VSSDPairs is the number of logical volumes: primary+replica vSSD
 	// pairs under ReplicationScheme, RS(k,m) stripe groups under
 	// ErasureCoded.
@@ -472,6 +482,9 @@ func (c *Config) Validate() error {
 		if c.SoftwareIsolated {
 			return errors.New("core: erasure coding requires hardware-isolated vSSDs")
 		}
+	}
+	if err := c.RepairSLO.validate(c.racks(), c.CrossRackMBps); err != nil {
+		return err
 	}
 	if err := c.validateFailureSpec(); err != nil {
 		return err

@@ -441,7 +441,11 @@ func (r *Rack) scheduleRepair(g *ecGroup) {
 // switch-observed GC idle window: the repair coordinator reads the ToR's
 // per-member GC bits (the same state soft gc_ops consult) and backs off
 // while any member collects, so repair traffic never competes with a
-// foreground GC episode for the group's channels.
+// foreground GC episode for the group's channels. With the SLO pacer
+// active (Config.RepairSLO) a second gate follows: the claim is cut to
+// the pacer's token-sized stripe limit and waits in the spine token lane
+// until the AIMD-controlled admission rate matures enough credit, so
+// repair also never holds the foreground tail above the SLO target.
 func (r *Rack) repairPump(g *ecGroup) {
 	g.repairArmed = false
 	if g.repairInFlight || g.recon.Pending() == 0 {
@@ -457,12 +461,28 @@ func (r *Rack) repairPump(g *ecGroup) {
 			return
 		}
 	}
-	task, ok := g.recon.Next()
+	// Tasks are enqueued in batches of at most repairBatchStripes, so
+	// the unpaced claim limit is a no-op split; the pacer cuts it down
+	// to its token size.
+	limit := repairBatchStripes
+	if r.pacer != nil {
+		limit = r.pacer.batchStripes()
+	}
+	task, ok := g.recon.NextUpTo(limit)
 	if !ok {
 		return
 	}
 	g.repairInFlight = true
-	r.runRepairTask(g, task)
+	if r.pacer == nil {
+		r.runRepairTask(g, task)
+		return
+	}
+	// The token charge is the rebuilt chunk volume; the GC idle window
+	// was checked at claim time and the grant re-validates liveness in
+	// runRepairTask, like any task that waited in a queue.
+	r.pacer.admit(int64(task.Stripes)*int64(r.cfg.Geometry.PageSize), func() {
+		r.runRepairTask(g, task)
+	})
 }
 
 // runRepairTask rebuilds one batch of a lost holder's chunks: k chunk
@@ -474,6 +494,11 @@ func (r *Rack) repairPump(g *ecGroup) {
 // through the cluster spine.
 func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 	now := r.eng.Now()
+	// batchBytes is both the pacer's admission charge for this task and
+	// the per-source spine cost below; the settle calls reconcile the
+	// two once the actual cross-rack fan-out is known (or the task dies
+	// without moving anything).
+	batchBytes := int64(task.Stripes) * int64(r.cfg.Geometry.PageSize)
 	// The adopter is pinned per holder: the first batch picks it and
 	// every later batch (and the final re-integration) targets the same
 	// member. If it has since become unreachable, the batches already
@@ -484,6 +509,9 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 	adopter := g.adopterFor[task.Holder]
 	if adopter == nil || !adopter.server.reachable() {
 		g.repairInFlight = false
+		if r.pacer != nil {
+			r.pacer.settle(batchBytes, 0) // refund: nothing moved
+		}
 		if next := g.adopter(task.Holder); next != nil {
 			r.enqueueHolderRepair(g, task.Holder, next)
 		}
@@ -519,18 +547,22 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 		// Unrecoverable with the current survivors: drop the task; the
 		// unrecoverable-read counter already exposes the data loss.
 		g.repairInFlight = false
+		if r.pacer != nil {
+			r.pacer.settle(batchBytes, 0) // refund: nothing moved
+		}
 		r.scheduleRepair(g)
 		return
 	}
 
 	var end sim.Time
+	var crossBytes int64
 	readDur := sim.Time(task.Stripes) * r.cfg.Device.ReadPage
-	batchBytes := int64(task.Stripes) * int64(r.cfg.Geometry.PageSize)
 	for _, src := range sources {
 		chs := src.v.Channels()
 		_, e := src.server.dev.OccupyChannel(chs[task.FirstStripe%len(chs)], readDur)
 		if src.server.rackIdx != adopter.server.rackIdx {
 			// The batch crosses the spine: meter it on the shared link.
+			crossBytes += batchBytes
 			if _, te := r.cluster.crossFetch(batchBytes, nil); te+r.cluster.spineLatency > e {
 				e = te + r.cluster.spineLatency
 			}
@@ -539,13 +571,20 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 			end = e
 		}
 	}
+	if r.pacer != nil {
+		// Settle the admission charge against the real spine fan-out:
+		// extra remote sources become token debt, an all-local batch a
+		// refund.
+		r.pacer.settle(batchBytes, crossBytes)
+	}
 	progDur := sim.Time(task.Stripes) * r.cfg.Device.ProgramPage
 	achs := adopter.v.Channels()
 	if _, e := adopter.server.dev.OccupyChannel(achs[task.FirstStripe%len(achs)], progDur); e > end {
 		end = e
 	}
 	end += sim.Time(task.Stripes)*ecDecodeTime + r.net.PathLatency(now, 2)
-	r.eng.At(end, func(sim.Time) {
+	r.eng.At(end, func(now sim.Time) {
+		r.lastRepairDone = now
 		if g.recon.Done(task) {
 			r.reintegrate(g, task.Holder)
 		}

@@ -149,6 +149,13 @@ type Rack struct {
 	// least one failure, arming the per-request client loss detectors.
 	anyFailure bool
 
+	// pacer is the SLO-aware repair rate controller (nil unless
+	// Config.RepairSLO enables it); lastRepairDone is the instant the
+	// most recent repair batch completed — once the queues drain, the
+	// repair completion time of the run.
+	pacer          *RepairPacer
+	lastRepairDone sim.Time
+
 	// TraceGC, when set, observes every GC episode (diagnostics).
 	TraceGC func(vssd uint32, gcType packet.GCField, start, end sim.Time, blocks int)
 
@@ -194,6 +201,10 @@ func NewRack(cfg Config) (*Rack, error) {
 	r.net = netsim.New(cfg.Net, r.rng.Fork(100))
 	r.cluster = newCluster(r)
 	r.sw = r.cluster.tors[0]
+	if cfg.RepairSLO.Enabled() {
+		// Validate guarantees Racks > 1, so the spine exists.
+		r.pacer = newRepairPacer(r.eng, r.cluster.spine, &cfg)
+	}
 
 	// Servers, rack by rack: server i lives in rack i/StorageServers and
 	// addresses as 10.0.<rack>.<16+local>.

@@ -65,6 +65,13 @@ type Result struct {
 	// the two contending classes can be compared. SpineUtilization
 	// covers both.
 	ForegroundCrossRackBytes int64
+	// CrossRackRepairBytesOffered and ForegroundCrossRackBytesOffered
+	// count spine bytes at enqueue time — the old (dishonest) meaning of
+	// the delivered counters above, kept so the two can be reconciled:
+	// delivered <= offered always, equal once the simulation drains
+	// every in-flight transfer.
+	CrossRackRepairBytesOffered     int64
+	ForegroundCrossRackBytesOffered int64
 
 	// Recovery-lifecycle counters (fail -> repair -> re-integrate ->
 	// revive). ReintegratedStripes counts stripes whose rebuilt chunks
@@ -84,6 +91,18 @@ type Result struct {
 	ToRRevivals             int64
 	ServerRevivals          int64
 	RestoredHolders         int64
+
+	// SLO-aware repair pacing (Config.RepairSLO). RepairCompletionTime
+	// is the instant the last repair batch finished (0 when no repair
+	// ran) — with pacing on, the cost side of the latency/repair-time
+	// trade-off. SLOViolationFraction is the fraction of controller
+	// ticks whose windowed foreground read p99 exceeded the SLO target
+	// (0 when pacing is off). RepairRateTimeline records every admission
+	// rate the AIMD controller set, starting with the initial rate at
+	// time 0.
+	RepairCompletionTime sim.Time
+	SLOViolationFraction float64
+	RepairRateTimeline   []RatePoint
 
 	// WriteAmp is the mean write amplification across instances.
 	WriteAmp float64
@@ -109,6 +128,9 @@ func (r *Rack) Run() *Result {
 	r.startClients()
 	r.startGCMonitors()
 	r.scheduleFailure()
+	if r.pacer != nil {
+		r.eng.After(r.pacer.slo.Interval, func(sim.Time) { r.pacerTick() })
+	}
 	r.eng.Run()
 
 	res := &Result{
@@ -135,9 +157,16 @@ func (r *Rack) Run() *Result {
 		Events:             r.eng.Processed(),
 	}
 	res.CrossRackRepairBytes = r.cluster.crossRepairBytes
+	res.CrossRackRepairBytesOffered = r.cluster.crossRepairOffered
 	res.CrossRackFetches = r.cluster.crossFetches
 	res.SpineUtilization = r.cluster.SpineUtilization()
 	res.ForegroundCrossRackBytes = r.cluster.foregroundBytes
+	res.ForegroundCrossRackBytesOffered = r.cluster.foregroundOffered
+	res.RepairCompletionTime = r.lastRepairDone
+	if r.pacer != nil {
+		res.SLOViolationFraction = r.pacer.violationFraction()
+		res.RepairRateTimeline = append([]RatePoint(nil), r.pacer.timeline...)
+	}
 	res.ReintegratedStripes = r.reintegratedStripes
 	res.DegradedReadsPostRepair = r.degradedReadsPostRepair
 	res.ToRRevivals = r.cluster.torRevivals

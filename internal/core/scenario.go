@@ -105,10 +105,21 @@ func ReviveToR(idx int, at sim.Time) Event {
 }
 
 // legacyFailureConfigured reports whether any deprecated flat
-// failure-injection field is set.
+// failure-injection field selects a target (and so would compile to at
+// least one event).
 func (c *Config) legacyFailureConfigured() bool {
 	return c.FailServerIndex >= 0 || len(c.FailServers) > 0 ||
 		c.FailRackIndex >= 0 || c.FailToRIndex >= 0 || c.RecoverToRIndex >= 0
+}
+
+// legacyFailureTouched additionally catches the shared flat time fields
+// set on their own (FailServerAt/RecoverToRAt with every index at -1).
+// Alone they inject nothing, but combined with a Scenario they signal a
+// half-migrated config whose author expected the flat instant to matter
+// — silently preferring the timeline would drop their intent, so the
+// validator rejects the mix.
+func (c *Config) legacyFailureTouched() bool {
+	return c.legacyFailureConfigured() || c.FailServerAt != 0 || c.RecoverToRAt != 0
 }
 
 // legacyEvents compiles the deprecated flat fields into their timeline
@@ -157,9 +168,9 @@ func (c *Config) compileScenario() []Event {
 // fault domain — is rejected (the validateFailureSpec gap). Every
 // rejection is a typed *FailureSpecError.
 func (c *Config) validateScenario() error {
-	if len(c.Scenario) > 0 && c.legacyFailureConfigured() {
+	if len(c.Scenario) > 0 && c.legacyFailureTouched() {
 		return &FailureSpecError{Field: "Scenario", Index: len(c.Scenario),
-			Reason: "cannot be combined with the deprecated Fail*/Recover* fields; express the whole timeline as events"}
+			Reason: "cannot be combined with the deprecated Fail*/Recover* fields (indices or the FailServerAt/RecoverToRAt instants); express the whole timeline as events"}
 	}
 	events := c.compileScenario()
 	if len(events) == 0 {

@@ -137,6 +137,31 @@ func TestScenarioValidation(t *testing.T) {
 			c.FailServerIndex = 0
 			c.Scenario = []Event{FailServer(1, at)}
 		}, "Scenario"},
+		{"mixed with legacy FailServers list", func(c *Config) {
+			c.FailServers = []int{1}
+			c.Scenario = []Event{FailServer(0, at)}
+		}, "Scenario"},
+		{"mixed with legacy recover fields", func(c *Config) {
+			c.FailToRIndex = 1
+			c.RecoverToRIndex = 1
+			c.RecoverToRAt = later
+			c.Scenario = []Event{FailServer(0, at)}
+		}, "Scenario"},
+		{"mixed with bare legacy FailServerAt", func(c *Config) {
+			// The flat instant alone injects nothing, but with a Scenario
+			// it signals a half-migrated config: silently preferring the
+			// timeline would drop the author's intent (the old precedence
+			// bug), so the mix is rejected like any other combination.
+			c.FailServerAt = at
+			c.Scenario = []Event{FailServer(0, later)}
+		}, "Scenario"},
+		{"mixed with bare legacy RecoverToRAt", func(c *Config) {
+			c.RecoverToRAt = later
+			c.Scenario = []Event{FailToR(1, at), ReviveToR(1, later)}
+		}, "Scenario"},
+		{"bare legacy FailServerAt without scenario still accepted", func(c *Config) {
+			c.FailServerAt = at // documented no-op: no index selects a target
+		}, ""},
 		{"fail-server out of range", func(c *Config) {
 			c.Scenario = []Event{FailServer(99, at)}
 		}, "Scenario"},
@@ -175,6 +200,31 @@ func TestScenarioValidation(t *testing.T) {
 			c.FailToRIndex = 1
 			c.FailServerAt = at
 		}, "FailToRIndex"},
+		{"valid repair SLO on a multi-rack cluster", func(c *Config) {
+			c.RepairSLO = RepairSLO{TargetP99: 5 * sim.Millisecond}
+		}, ""},
+		{"repair SLO on a single rack", func(c *Config) {
+			c.Racks = 1
+			c.StorageServers = 6
+			c.Placement = PlacementCompact
+			c.RepairSLO = RepairSLO{TargetP99: 5 * sim.Millisecond}
+		}, "RepairSLO"},
+		{"repair SLO with inverted rate bounds", func(c *Config) {
+			c.RepairSLO = RepairSLO{TargetP99: 5 * sim.Millisecond,
+				MinRateMBps: 50, MaxRateMBps: 10}
+		}, "RepairSLO"},
+		{"repair SLO with negative rate bound", func(c *Config) {
+			c.RepairSLO = RepairSLO{TargetP99: 5 * sim.Millisecond, MinRateMBps: -1}
+		}, "RepairSLO"},
+		{"repair SLO with negative interval", func(c *Config) {
+			c.RepairSLO = RepairSLO{TargetP99: 5 * sim.Millisecond, Interval: -1}
+		}, "RepairSLO"},
+		{"repair SLO rate floor above the spine capacity", func(c *Config) {
+			// CrossRackMBps is 200 here: a floor the link cannot carry
+			// could never back off below capacity, permanently violating
+			// the SLO it is meant to defend.
+			c.RepairSLO = RepairSLO{TargetP99: 5 * sim.Millisecond, MinRateMBps: 300}
+		}, "RepairSLO"},
 	}
 	for _, tc := range cases {
 		cfg := recoveryConfig()

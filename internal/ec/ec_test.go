@@ -175,3 +175,59 @@ func TestReconstructor(t *testing.T) {
 		t.Fatalf("repaired %d/%d stripes, want 130", total, r.RepairedStripes())
 	}
 }
+
+// TestReconstructorNextUpTo exercises the token-sized splitting the
+// repair pacer relies on: a large enqueued batch is claimed in limit-
+// sized prefixes covering contiguous disjoint stripe ranges, completion
+// accounting still converges, and a Reset mid-split voids the claimed
+// prefix along with the queued remainder.
+func TestReconstructorNextUpTo(t *testing.T) {
+	r := NewReconstructor()
+	r.EnqueueChunk(2, 100, 64) // tasks of 64 + 36 stripes
+
+	covered := make(map[int]bool)
+	claims := 0
+	for {
+		task, ok := r.NextUpTo(10)
+		if !ok {
+			break
+		}
+		claims++
+		if task.Holder != 2 {
+			t.Fatalf("holder = %d, want 2", task.Holder)
+		}
+		if task.Stripes > 10 {
+			t.Fatalf("claim of %d stripes exceeds the 10-stripe limit", task.Stripes)
+		}
+		for s := task.FirstStripe; s < task.FirstStripe+task.Stripes; s++ {
+			if covered[s] {
+				t.Fatalf("stripe %d claimed twice", s)
+			}
+			covered[s] = true
+		}
+		if done := r.Done(task); done != (len(covered) == 100) {
+			t.Fatalf("Done reported completion %v with %d/100 stripes", done, len(covered))
+		}
+	}
+	if len(covered) != 100 || claims != 11 { // ceil(64/10)+ceil(36/10) splits
+		t.Fatalf("covered %d stripes in %d claims, want 100 in 11", len(covered), claims)
+	}
+	if r.RepairedStripes() != 100 || r.Remaining(2) != 0 {
+		t.Fatalf("repaired %d, remaining %d", r.RepairedStripes(), r.Remaining(2))
+	}
+
+	// A limit below 1 claims a single stripe; the remainder keeps its
+	// generation so Reset voids both halves.
+	r.EnqueueChunk(5, 3, 64)
+	one, ok := r.NextUpTo(0)
+	if !ok || one.Stripes != 1 {
+		t.Fatalf("NextUpTo(0) = %+v, %v; want a one-stripe claim", one, ok)
+	}
+	r.Reset(5)
+	if r.Done(one) {
+		t.Fatal("stale split claim completed a reset holder")
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending after reset = %d", r.Pending())
+	}
+}

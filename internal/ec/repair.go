@@ -74,6 +74,32 @@ func (r *Reconstructor) Next() (t RepairTask, ok bool) {
 	return t, true
 }
 
+// NextUpTo claims at most limit stripes of the oldest pending task,
+// splitting the task when it is larger: the claimed prefix is returned
+// and the remainder — same holder, same generation — stays at the head
+// of the queue. The repair pacer uses it to cut enqueued batches down to
+// token-sized transfers, so a large batch cannot monopolize the shared
+// spine link in one burst. A limit below 1 claims one stripe.
+func (r *Reconstructor) NextUpTo(limit int) (t RepairTask, ok bool) {
+	if len(r.pending) == 0 {
+		return RepairTask{}, false
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	head := r.pending[0]
+	if head.Stripes <= limit {
+		r.pending = r.pending[1:]
+		return head, true
+	}
+	rest := head
+	rest.FirstStripe += limit
+	rest.Stripes -= limit
+	r.pending[0] = rest
+	head.Stripes = limit
+	return head, true
+}
+
 // Done records a completed task's stripes and reports whether the
 // task's holder is now fully rebuilt — every stripe enqueued for it has
 // been repaired — so the caller can re-register the replacement holder.

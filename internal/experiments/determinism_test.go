@@ -20,18 +20,19 @@ func replayJSON(t *testing.T, id string) []byte {
 	return b
 }
 
-// TestDeterministicReplay runs figec, figmr, figrl, and figsc twice
-// with the same seed and asserts byte-identical JSON results. This pins
-// the engine's (time, insertion-order) event ordering and the
+// TestDeterministicReplay runs figec, figmr, figrl, figsc, and figslo
+// twice with the same seed and asserts byte-identical JSON results. This
+// pins the engine's (time, insertion-order) event ordering and the
 // per-component RNG fork discipline (internal/sim/rng.go): any refactor
 // that lets map iteration or wall-clock state leak into the event loop
 // shows up here as a diff. figrl covers the recovery-lifecycle paths —
 // chunk repair, switch re-integration, ToR revival with table replay —
-// and figsc the scenario event driver with server revival and catch-up
-// repair, whose control-plane fan-out is the newest source of ordering
-// hazards.
+// figsc the scenario event driver with server revival and catch-up
+// repair, and figslo the SLO repair pacer, whose feedback loop (latency
+// window, AIMD ticks, token-lane wakeups) is the newest source of
+// ordering hazards.
 func TestDeterministicReplay(t *testing.T) {
-	for _, id := range []string{"figec", "figmr", "figrl", "figsc"} {
+	for _, id := range []string{"figec", "figmr", "figrl", "figsc", "figslo"} {
 		first := replayJSON(t, id)
 		second := replayJSON(t, id)
 		if string(first) != string(second) {

@@ -692,6 +692,11 @@ type Options struct {
 	Racks int
 	// CrossBWMBps overrides the spine/aggregation link bandwidth in MB/s.
 	CrossBWMBps float64
+	// RepairSLOTarget overrides the foreground read p99 target of the
+	// SLO-pacing experiments (figslo) and enables pacing for -scenario
+	// runs; 0 keeps figslo's auto-derived target (a multiple of the
+	// healthy baseline's p99) and leaves -scenario runs unpaced.
+	RepairSLOTarget sim.Time
 }
 
 // FigMR compares single-rack (compact) against multi-rack (spread)
@@ -977,12 +982,19 @@ func FigSC(scale Scale, opt Options) *Table {
 // caller-supplied scenario timeline (cmd/rackbench -scenario) and
 // tabulates the run's read latencies and lifecycle counters. The
 // measured window opens after warmup and spans the whole timeline, so
-// every event's effects land in one set of counters.
+// every event's effects land in one set of counters. A non-zero
+// Options.RepairSLOTarget (-repair-slo) enables the SLO repair pacer
+// for the run. repair_done_ms is the instant the last repair batch
+// landed, paced or not (0 when no repair ran); slo_viol_frac is the
+// controller's violated-tick fraction, 0 when pacing is off.
 func ScenarioSummary(events []core.Event, scale Scale, opt Options) (*Table, error) {
 	cfg := rlConfig(scale, opt)
 	cfg.Warmup = 50 * sim.Millisecond
 	cfg.Duration = scale.duration(1000 * sim.Millisecond)
 	cfg.Scenario = events
+	if opt.RepairSLOTarget > 0 {
+		cfg.RepairSLO = core.RepairSLO{TargetP99: opt.RepairSLOTarget}
+	}
 	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
@@ -993,7 +1005,8 @@ func ScenarioSummary(events []core.Event, scale Scale, opt Options) (*Table, err
 		Title: fmt.Sprintf("Scenario timeline with %d events", len(events)),
 		Cols: []string{"read_mean_ms", "read_p99_ms", "degraded",
 			"degraded_post_repair", "reintegrated_stripes", "restored_holders",
-			"server_revivals", "tor_revivals", "repair_pending", "lost_reads"},
+			"server_revivals", "tor_revivals", "repair_pending", "lost_reads",
+			"slo_viol_frac", "repair_done_ms"},
 	}
 	for _, ev := range events {
 		t.Rows = append(t.Rows, Row{Series: "event", X: ev.String(), Values: map[string]float64{}})
@@ -1010,6 +1023,8 @@ func ScenarioSummary(events []core.Event, scale Scale, opt Options) (*Table, err
 			"tor_revivals":         float64(res.ToRRevivals),
 			"repair_pending":       float64(res.RepairPending),
 			"lost_reads":           float64(res.LostReads),
+			"slo_viol_frac":        res.SLOViolationFraction,
+			"repair_done_ms":       ms(res.RepairCompletionTime),
 		}})
 	return t, nil
 }
@@ -1053,7 +1068,7 @@ func All() []string {
 		"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
 		"fig22", "fig23", "predictor", "gcablation", "figec", "figmr",
-		"figrl", "figsc",
+		"figrl", "figsc", "figslo",
 	}
 }
 
@@ -1109,6 +1124,8 @@ func ByIDWith(id string, scale Scale, opt Options) ([]*Table, error) {
 		return []*Table{FigRL(scale, opt)}, nil
 	case "figsc":
 		return []*Table{FigSC(scale, opt)}, nil
+	case "figslo":
+		return []*Table{FigSLO(scale, opt)}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }

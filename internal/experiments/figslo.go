@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rackblox/internal/core"
+	"rackblox/internal/sim"
+)
+
+// sloCrossBWMBps is figslo's default spine bandwidth: deliberately
+// scarcer than the other cluster experiments' 200 MB/s so unpaced repair
+// visibly saturates the link and foreground reads queue behind its
+// batches — the contention the pacer exists to control — while still
+// leaving the steady foreground load comfortable headroom. -crossbw
+// overrides it.
+const sloCrossBWMBps = 80
+
+// sloTargetFactor derives the SLO target from the healthy baseline when
+// the caller gives none: the paced run must keep its p99 within this
+// multiple of the p99 measured with no failure at all. The factor is a
+// degraded-mode SLO: it leaves room for the intrinsic cost of degraded
+// reads (k-fetch reconstruction plus spine hops), which no repair
+// throttling can remove — the pacer controls the queueing repair adds on
+// top, which is what blows the unpaced run far past this ceiling.
+const sloTargetFactor = 2.5
+
+// sloConfig is the figslo cluster: the recovery-lifecycle cluster on a
+// scarce spine, replaying the figsc repeated-fault timeline
+// (fail -> revive -> catch-up -> fail-again).
+func sloConfig(scale Scale, opt Options) core.Config {
+	if opt.CrossBWMBps <= 0 {
+		opt.CrossBWMBps = sloCrossBWMBps
+	}
+	cfg := rlConfig(scale, opt)
+	// Halve the client load of the lifecycle cluster: the scarce spine
+	// must fit the steady foreground traffic with headroom (otherwise
+	// foreground queueing alone collapses the baseline), leaving repair
+	// as the marginal contender the pacer arbitrates.
+	cfg.Workload.MeanGap *= 2
+	// Measure the whole repeated-fault window: both crashes, the revival,
+	// and the repair traffic between them land in one recorder.
+	cfg.Warmup = scFailAt
+	cfg.Duration = scale.duration(scHealed2By - scFailAt)
+	return cfg
+}
+
+// FigSLO measures the repair-rate vs foreground-latency trade-off the
+// pacer closes: the figsc repeated-fault timeline replayed three ways —
+// a healthy baseline (no failure, defines the SLO target when none is
+// given), unpaced repair (admitted whenever GC idle windows allow, the
+// pre-pacer behavior), and SLO-paced repair (core.RepairPacer holding
+// the windowed foreground read p99 under the target by AIMD-adjusting
+// the repair admission rate on the spine token lane). The pacing claim
+// is the p99_ms column: unpaced repair drives it past slo_target_ms
+// while pacing keeps it under, and repair still completes
+// (repair_done_ms finite, pending 0 — the no-starvation floor). The
+// byte columns reconcile delivered against offered spine traffic: equal
+// here because a completed run drains every in-flight transfer.
+func FigSLO(scale Scale, opt Options) *Table {
+	t := &Table{ID: "FigSLO",
+		Title: "SLO-aware repair pacing: foreground p99 vs repair completion",
+		Cols: []string{"p99_ms", "slo_target_ms", "viol_frac", "repair_done_ms",
+			"repaired", "pending", "repair_mb", "repair_mb_offered", "fg_mb",
+			"final_rate_mbps", "lost_reads"}}
+
+	run := func(series string, events []core.Event, slo core.RepairSLO) *core.Result {
+		cfg := sloConfig(scale, opt)
+		cfg.Scenario = events
+		cfg.RepairSLO = slo
+		res, err := core.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", series, err))
+		}
+		return res
+	}
+	cycle := []core.Event{
+		core.FailServer(0, scFailAt),
+		core.ReviveServer(0, scReviveAt),
+		core.FailServer(0, scFail2At),
+	}
+
+	healthy := run("healthy", nil, core.RepairSLO{})
+	target := opt.RepairSLOTarget
+	if target <= 0 {
+		target = sim.Time(float64(healthy.Recorder.Reads().P99()) * sloTargetFactor)
+	}
+	slo := core.RepairSLO{TargetP99: target}
+
+	row := func(series, x string, res *core.Result) {
+		finalRate := 0.0
+		if n := len(res.RepairRateTimeline); n > 0 {
+			finalRate = res.RepairRateTimeline[n-1].MBps
+		}
+		t.Rows = append(t.Rows, Row{Series: series, X: x, Values: map[string]float64{
+			"p99_ms":            ms(res.Recorder.Reads().P99()),
+			"slo_target_ms":     ms(int64(target)),
+			"viol_frac":         res.SLOViolationFraction,
+			"repair_done_ms":    ms(res.RepairCompletionTime),
+			"repaired":          float64(res.RepairedStripes),
+			"pending":           float64(res.RepairPending),
+			"repair_mb":         float64(res.CrossRackRepairBytes) / 1e6,
+			"repair_mb_offered": float64(res.CrossRackRepairBytesOffered) / 1e6,
+			"fg_mb":             float64(res.ForegroundCrossRackBytes) / 1e6,
+			"final_rate_mbps":   finalRate,
+			"lost_reads":        float64(res.LostReads),
+		}})
+	}
+	row("healthy", "no failure", healthy)
+	row("unpaced", "fail/revive/fail", run("unpaced", cycle, core.RepairSLO{}))
+	row("paced", "fail/revive/fail", run("paced", cycle, slo))
+	return t
+}

@@ -8,7 +8,12 @@ package sim
 type Bandwidth struct {
 	res         *Resource
 	bytesPerSec float64
-	bytes       int64
+	// offered counts bytes at enqueue time (the transfer has been
+	// reserved on the link); delivered counts them only once the last
+	// byte has cleared it. delivered <= offered always, with equality
+	// once every reserved transfer has completed.
+	offered   int64
+	delivered int64
 }
 
 // NewBandwidth returns an idle link moving bytesPerSec bytes per second.
@@ -31,12 +36,26 @@ func (b *Bandwidth) TransferTime(bytes int64) Time {
 // last byte clears it; done may be nil. Waiting behind earlier transfers
 // is implicit in the returned start time.
 func (b *Bandwidth) Transfer(bytes int64, done func(start, end Time)) (start, end Time) {
-	b.bytes += bytes
-	return b.res.Acquire(b.TransferTime(bytes), done)
+	b.offered += bytes
+	// Delivered bytes are counted at completion, not enqueue, so a
+	// simulation that stops mid-transfer never reports bytes the link
+	// did not actually move.
+	return b.res.Acquire(b.TransferTime(bytes), func(s, e Time) {
+		b.delivered += bytes
+		if done != nil {
+			done(s, e)
+		}
+	})
 }
 
-// Bytes returns the total bytes ever offered to the link.
-func (b *Bandwidth) Bytes() int64 { return b.bytes }
+// Bytes returns the bytes the link has fully delivered: transfers still
+// queued or in flight are excluded until their last byte clears the link.
+func (b *Bandwidth) Bytes() int64 { return b.delivered }
+
+// OfferedBytes returns the total bytes ever offered to the link — the
+// old meaning of Bytes, counted at enqueue. OfferedBytes() - Bytes() is
+// the backlog still queued or in flight.
+func (b *Bandwidth) OfferedBytes() int64 { return b.offered }
 
 // BytesPerSec returns the configured capacity.
 func (b *Bandwidth) BytesPerSec() float64 { return b.bytesPerSec }

@@ -34,9 +34,49 @@ func TestBandwidthSerializesTransfers(t *testing.T) {
 	if bw.Bytes() != 3000 {
 		t.Fatalf("Bytes = %d", bw.Bytes())
 	}
+	if bw.OfferedBytes() != 3000 {
+		t.Fatalf("OfferedBytes = %d", bw.OfferedBytes())
+	}
 	// The link was busy the whole 3ms: utilization 1.
 	if u := bw.Utilization(); u < 0.99 || u > 1.01 {
 		t.Fatalf("utilization = %f", u)
+	}
+}
+
+// TestBandwidthBytesCountOnCompletion is the regression test for the
+// enqueue-time byte accounting bug: a simulation that ends mid-transfer
+// must not report bytes the link never finished moving. Offered bytes
+// keep the old enqueue-time meaning; delivered bytes lag them until the
+// link drains, at which point the two reconcile exactly.
+func TestBandwidthBytesCountOnCompletion(t *testing.T) {
+	eng := NewEngine()
+	bw := NewBandwidth(eng, 1e6) // 1 MB/s => 1000 bytes per ms
+	bw.Transfer(1000, nil)       // ends at 1ms
+	bw.Transfer(1000, nil)       // ends at 2ms
+
+	// Every transfer is reserved up front, none has completed.
+	if got := bw.OfferedBytes(); got != 2000 {
+		t.Fatalf("OfferedBytes at enqueue = %d, want 2000", got)
+	}
+	if got := bw.Bytes(); got != 0 {
+		t.Fatalf("Bytes at enqueue = %d, want 0", got)
+	}
+
+	// Stop the clock mid-way through the second transfer: only the first
+	// counts as delivered.
+	eng.RunUntil(1500 * Microsecond)
+	if got := bw.Bytes(); got != 1000 {
+		t.Fatalf("Bytes mid-transfer = %d, want 1000", got)
+	}
+	if bw.Bytes() > bw.OfferedBytes() {
+		t.Fatalf("delivered %d exceeds offered %d", bw.Bytes(), bw.OfferedBytes())
+	}
+
+	// Draining the engine reconciles the two counters.
+	eng.Run()
+	if bw.Bytes() != 2000 || bw.OfferedBytes() != 2000 {
+		t.Fatalf("after drain: delivered %d offered %d, want 2000 each",
+			bw.Bytes(), bw.OfferedBytes())
 	}
 }
 

@@ -124,6 +124,45 @@
 // rackbench -scenario "failrack:0@300ms,revive-server:2@600ms" runs a
 // one-off custom timeline.
 //
+// # SLO-aware repair pacing
+//
+// Repair traffic and foreground traffic contend for the same spine, so
+// on a scarce link an unpaced reconstruction blows up the foreground
+// read tail for as long as it runs. Config.RepairSLO closes this last
+// co-design loop with feedback control:
+//
+//	cfg.RepairSLO = rackblox.RepairSLO{
+//		TargetP99:   5_000_000, // defend a 5ms foreground read p99
+//		MinRateMBps: 1,         // repair never starves
+//		MaxRateMBps: 80,        // may use the whole spine when latency permits
+//	}
+//
+// A windowed quantile sensor (stats.WindowedQuantile) observes every
+// completed foreground read; each controller tick compares the windowed
+// p99 against TargetP99 and adjusts the repair admission rate with AIMD
+// — additive probing while the tail is under target, multiplicative
+// backoff (and a fresh evidence window) the moment it is not — always
+// within [MinRateMBps, MaxRateMBps]. The rate is enforced by a
+// token-bucket lane layered on the spine (sim.PacedBandwidth):
+// foreground transfers keep FIFO access to the link, repair batches
+// wait for tokens that refill at the controller's rate, and enqueued
+// batches are split to token-sized transfers so a single batch cannot
+// monopolize the link. The MinRateMBps floor is the no-starvation
+// guarantee: repair always completes, just slower while the SLO is
+// tight. Result reports the trade-off: RepairCompletionTime (when the
+// last batch landed), SLOViolationFraction (fraction of controller
+// ticks whose windowed p99 exceeded target), and RepairRateTimeline
+// (every rate the controller set). Spine byte counters come in
+// delivered/offered pairs (CrossRackRepairBytes vs
+// CrossRackRepairBytesOffered, ForegroundCrossRackBytes vs
+// ForegroundCrossRackBytesOffered): delivered counts only transfers
+// whose last byte cleared the link, offered counts at enqueue, and the
+// two reconcile exactly once a run drains. The pacing-off vs pacing-on
+// comparison on the figsc repeated-fault timeline is
+// Experiment("figslo", ...), also reachable as rackbench -exp figslo
+// (with -repair-slo overriding the auto-derived target); see
+// examples/slo.
+//
 // Quick start:
 //
 //	cfg := rackblox.DefaultConfig()
@@ -219,8 +258,19 @@ const (
 // FailureSpecError is the typed validation error for failure-injection
 // configuration: malformed Config.Scenario timelines (out-of-range
 // indices, double crashes, revive-before-fail, same-instant fault-
-// domain double-booking) and invalid legacy flat fields.
+// domain double-booking), invalid legacy flat fields, mixing a Scenario
+// with any deprecated flat field, and contradictory RepairSLO settings.
 type FailureSpecError = core.FailureSpecError
+
+// RepairSLO configures the latency-SLO-aware repair rate controller
+// (Config.RepairSLO): the foreground read p99 target the pacer defends,
+// the min/max repair admission rate bounds, and the sensor window and
+// tick interval. The zero value disables pacing.
+type RepairSLO = core.RepairSLO
+
+// RatePoint is one entry of Result.RepairRateTimeline: the repair
+// admission rate the AIMD controller set at a virtual-time instant.
+type RatePoint = core.RatePoint
 
 // Event is one typed entry of a scenario timeline (Config.Scenario): a
 // fault or recovery action applied to a server or rack index at its own

@@ -5,6 +5,7 @@ import (
 	"rackblox/internal/sim"
 	"rackblox/internal/stats"
 	"rackblox/internal/switchsim"
+	"rackblox/internal/trace"
 )
 
 // startClients schedules the first request of every pair. Each pair's
@@ -70,12 +71,15 @@ func (r *Rack) issue(pr *pair) {
 	op := pr.gen.Next()
 	r.seq++
 	st := &reqState{
-		seq:   r.seq,
-		write: op.Write,
-		lpn:   op.LPN,
-		pair:  pr,
-		issue: now,
+		seq:       r.seq,
+		write:     op.Write,
+		lpn:       op.LPN,
+		pair:      pr,
+		issue:     now,
+		lastIssue: now,
 	}
+	st.span = r.tracer.StartRequest(st.seq, reqKind(op.Write), now)
+	st.span.Annotate(trace.Int("lpn", int64(op.LPN)), trace.Int("volume", int64(pr.idx)))
 	r.reqs[st.seq] = st
 	pr.inflight++
 	r.watchTimeout(st.seq)
@@ -111,13 +115,33 @@ func (r *Rack) clientTorForPair(pr *pair) *switchsim.Switch {
 	return tor
 }
 
+// reqKind names a request's root span kind.
+func reqKind(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// spanFor resolves the root span of an in-flight request, nil when the
+// request is unknown or tracing is off.
+func (r *Rack) spanFor(seq uint64) *trace.Span {
+	if r.tracer == nil || seq == 0 {
+		return nil
+	}
+	if st := r.reqs[seq]; st != nil {
+		return st.span
+	}
+	return nil
+}
+
 // clientSend ships a client packet into a ToR: one edge hop, plus the
 // spine crossing — metered as foreground traffic on the shared link —
 // when the ToR is not in the client's rack (rack 0).
 func (r *Rack) clientSend(pkt packet.Packet, tor *switchsim.Switch) {
 	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.crossLatency(0, tor.RackID())
 	if tor.RackID() != 0 {
-		hop += r.cluster.meterForeground(r.cluster.frameBytes(pkt))
+		hop += r.cluster.meterForegroundTraced(r.cluster.frameBytes(pkt), r.spanFor(pkt.Seq))
 	}
 	pkt.AddLatency(hop)
 	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
@@ -146,7 +170,7 @@ func (r *Rack) deliverFromTor(torRack int, pkt packet.Packet) {
 	if torRack != dstRack {
 		// Leaving the rack: the packet pays for (and occupies) the
 		// shared spine alongside repair transfers.
-		hop += r.cluster.meterForeground(r.cluster.frameBytes(pkt))
+		hop += r.cluster.meterForegroundTraced(r.cluster.frameBytes(pkt), r.spanFor(pkt.Seq))
 	}
 	pkt.AddLatency(hop)
 	r.eng.After(hop, func(sim.Time) {
@@ -276,9 +300,18 @@ func (r *Rack) clientReceive(pkt packet.Packet) {
 		// measurement artifact.
 		r.pacer.observeRead(now - st.issue)
 	}
+	if st.write {
+		r.completedWrites++
+	} else {
+		r.completedReads++
+		if r.metricsWin != nil {
+			r.metricsWin.Observe(now - st.issue)
+		}
+	}
 	if st.issue < r.cfg.Warmup {
 		return // warmup sample
 	}
+	r.finishSpan(st, pkt.VSSD, now)
 	queue := st.dispatched - st.arrival
 	device := st.deviceDone - st.dispatched
 	if st.dispatched == 0 || queue < 0 { // cache path or bounced read
@@ -293,4 +326,43 @@ func (r *Rack) clientReceive(pkt packet.Packet) {
 		Write:      st.write,
 		Redirected: st.redirected,
 	}, now)
+}
+
+// finishSpan closes a request's root span with its attribution
+// partition. The phases tile [issue, completion] exactly — retransmit
+// (earlier timed-out attempts), net_in (client to serving server),
+// queue (scheduler wait), device service split into gc_block where a GC
+// burst on the serving vSSD overlapped the service window (and renamed
+// degraded_read for k-chunk reconstructions), then net_out — so the
+// phase durations sum to the end-to-end latency, the invariant tail
+// attribution relies on. servedBy is the vSSD that answered.
+func (r *Rack) finishSpan(st *reqState, servedBy uint32, now sim.Time) {
+	sp := st.span
+	if sp == nil {
+		return
+	}
+	sp.Phase("retransmit", st.lastIssue-st.issue)
+	sp.Phase("net_in", st.arrival-st.lastIssue)
+	queue := st.dispatched - st.arrival
+	devStart := st.dispatched
+	if st.dispatched == 0 || queue < 0 { // cache path or bounced read
+		queue, devStart = 0, st.arrival
+	}
+	sp.Phase("queue", queue)
+	device := st.deviceDone - devStart
+	gcBlock := r.tracer.GCOverlap(servedBy, devStart, st.deviceDone)
+	if gcBlock > device {
+		gcBlock = device
+	}
+	devName := "device"
+	if st.degraded {
+		devName = "degraded_read"
+	}
+	sp.Phase(devName, device-gcBlock)
+	sp.Phase("gc_block", gcBlock)
+	sp.Phase("net_out", now-st.deviceDone)
+	if st.redirected {
+		sp.Annotate(trace.String("redirected", "true"))
+	}
+	sp.Finish(now)
 }

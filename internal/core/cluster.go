@@ -6,6 +6,7 @@ import (
 	"rackblox/internal/packet"
 	"rackblox/internal/sim"
 	"rackblox/internal/switchsim"
+	"rackblox/internal/trace"
 )
 
 // Cluster is the multi-rack topology layer: it composes the experiment's
@@ -159,11 +160,27 @@ func (c *Cluster) frameBytes(pkt packet.Packet) int64 {
 // batches included, so client and repair traffic contend realistically —
 // plus the transfer time itself. Free (and zero-delay) with one rack.
 func (c *Cluster) meterForeground(bytes int64) sim.Time {
+	return c.meterForegroundTraced(bytes, nil)
+}
+
+// meterForegroundTraced is meterForeground plus flight-recorder detail:
+// a non-nil sp gets the spine queueing wait and the transfer window as
+// child spans. Recording only reads the transfer's reservation times, so
+// traced behavior is byte-identical to untraced.
+func (c *Cluster) meterForegroundTraced(bytes int64, sp *trace.Span) sim.Time {
 	if c.spine == nil || bytes <= 0 {
 		return 0
 	}
 	c.foregroundOffered += bytes
-	_, end := c.spine.Transfer(bytes, func(_, _ sim.Time) { c.foregroundBytes += bytes })
+	start, end := c.spine.Transfer(bytes, func(_, _ sim.Time) { c.foregroundBytes += bytes })
+	if sp != nil {
+		if now := c.rack.eng.Now(); start > now {
+			sp.Child("spine_wait", now).EndAt(start)
+		}
+		x := sp.Child("spine_xfer", start)
+		x.EndAt(end)
+		x.Annotate(trace.Int("bytes", bytes))
+	}
 	return end - c.rack.eng.Now()
 }
 
@@ -171,7 +188,13 @@ func (c *Cluster) meterForeground(bytes int64) sim.Time {
 // metered as foreground traffic. A failed destination ToR drops it
 // there, like any packet it processes.
 func (c *Cluster) handoff(pkt packet.Packet, rack int) {
-	delay := c.spineLatency + c.meterForeground(c.frameBytes(pkt))
+	sp := c.rack.spanFor(pkt.Seq)
+	if sp != nil {
+		h := sp.Child("handoff", c.rack.eng.Now())
+		h.EndAt(c.rack.eng.Now() + c.spineLatency)
+		h.Annotate(trace.Int("to_rack", int64(rack)))
+	}
+	delay := c.spineLatency + c.meterForegroundTraced(c.frameBytes(pkt), sp)
 	pkt.AddLatency(delay)
 	c.rack.eng.After(delay, func(sim.Time) { c.tors[rack].Process(pkt) })
 }
@@ -220,9 +243,19 @@ func (c *Cluster) scheduleScenario(events []Event) {
 		ev := ev
 		switch ev.Kind {
 		case EventReviveServer:
-			r.eng.At(ev.At, func(sim.Time) { c.ReviveServer(ev.Index) })
+			r.eng.At(ev.At, func(now sim.Time) {
+				if c.ReviveServer(ev.Index) {
+					r.tracer.Instant("scenario", "revive_server", now,
+						trace.Int("server", int64(ev.Index)))
+				}
+			})
 		case EventReviveToR:
-			r.eng.At(ev.At, func(sim.Time) { c.ReviveToR(ev.Index) })
+			r.eng.At(ev.At, func(now sim.Time) {
+				if c.ReviveToR(ev.Index) {
+					r.tracer.Instant("scenario", "revive_tor", now,
+						trace.Int("rack", int64(ev.Index)))
+				}
+			})
 		}
 	}
 	serverEpoch := make(map[int]int)
@@ -234,9 +267,11 @@ func (c *Cluster) scheduleScenario(events []Event) {
 			srv := r.servers[ev.Index]
 			serverEpoch[ev.Index]++
 			epoch := serverEpoch[ev.Index]
-			r.eng.At(ev.At, func(sim.Time) {
+			r.eng.At(ev.At, func(now sim.Time) {
 				srv.failed = true
 				srv.crashes++
+				r.tracer.Instant("scenario", "fail_server", now,
+					trace.Int("server", int64(ev.Index)))
 			})
 			r.eng.At(ev.At+detect, func(sim.Time) {
 				// failed==false: revived before detection, a transient
@@ -254,11 +289,13 @@ func (c *Cluster) scheduleScenario(events []Event) {
 				serverEpoch[i]++
 				epochs[i-lo] = serverEpoch[i]
 			}
-			r.eng.At(ev.At, func(sim.Time) {
+			r.eng.At(ev.At, func(now sim.Time) {
 				for i := lo; i < hi; i++ {
 					r.servers[i].failed = true
 					r.servers[i].crashes++
 				}
+				r.tracer.Instant("scenario", "fail_rack", now,
+					trace.Int("rack", int64(ev.Index)))
 			})
 			r.eng.At(ev.At+detect, func(sim.Time) {
 				for i := lo; i < hi; i++ {
@@ -270,7 +307,11 @@ func (c *Cluster) scheduleScenario(events []Event) {
 		case EventFailToR:
 			torEpoch[ev.Index]++
 			epoch := torEpoch[ev.Index]
-			r.eng.At(ev.At, func(sim.Time) { c.failToR(ev.Index) })
+			r.eng.At(ev.At, func(now sim.Time) {
+				c.failToR(ev.Index)
+				r.tracer.Instant("scenario", "fail_tor", now,
+					trace.Int("rack", int64(ev.Index)))
+			})
 			r.eng.At(ev.At+detect, func(sim.Time) {
 				if c.torCrashes[ev.Index] == epoch {
 					r.onToRDetectedDead(ev.Index)

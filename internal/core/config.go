@@ -15,6 +15,7 @@ import (
 	"rackblox/internal/netsim"
 	"rackblox/internal/sched"
 	"rackblox/internal/sim"
+	"rackblox/internal/trace"
 )
 
 // System selects which of the evaluated designs the rack runs.
@@ -223,6 +224,17 @@ type Config struct {
 	// Warmup discards samples before this time; Duration measures after.
 	Warmup   sim.Time
 	Duration sim.Time
+
+	// Trace enables the flight recorder: per-request span traces with
+	// phase attribution, control-plane instants, and GC bursts
+	// (Result.Trace, Result.TailAttribution). Observer-only: a traced run
+	// executes the exact same event sequence as an untraced one.
+	Trace trace.Options
+	// MetricsInterval enables the time-series sampler at this period
+	// (Result.Timelines): gauges and counters read by the engine's
+	// observer tick, which fires between events without being one. 0
+	// disables sampling.
+	MetricsInterval sim.Time
 
 	// Scenario is the run's fault/recovery timeline: an ordered schedule
 	// of typed events (FailServer, FailRack, FailToR, ReviveServer,
@@ -515,6 +527,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Duration <= 0 {
 		return errors.New("core: duration must be positive")
+	}
+	if c.MetricsInterval < 0 {
+		return errors.New("core: metrics interval must be non-negative")
+	}
+	if c.Trace.SampleEvery < 0 || c.Trace.TailKeep < 0 {
+		return errors.New("core: trace sampling knobs must be non-negative")
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"rackblox/internal/sched"
 	"rackblox/internal/sim"
 	"rackblox/internal/switchsim"
+	"rackblox/internal/trace"
 	"rackblox/internal/workload"
 )
 
@@ -268,12 +269,15 @@ func (r *Rack) issueEC(g *ecGroup) {
 	op := g.gen.Next()
 	r.seq++
 	st := &reqState{
-		seq:     r.seq,
-		write:   op.Write,
-		group:   g,
-		issue:   now,
-		userLPN: op.LPN,
+		seq:       r.seq,
+		write:     op.Write,
+		group:     g,
+		issue:     now,
+		lastIssue: now,
+		userLPN:   op.LPN,
 	}
+	st.span = r.tracer.StartRequest(st.seq, reqKind(op.Write), now)
+	st.span.Annotate(trace.Int("lpn", int64(op.LPN)), trace.Int("volume", int64(g.idx)))
 	r.reqs[st.seq] = st
 	g.inflight++
 	r.watchTimeout(st.seq)
@@ -345,6 +349,7 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 		st.dispatched = now
 	}
 	st.redirected = true
+	st.degraded = true
 	r.degradedReads++
 	g := st.group
 	stripe := int(st.lpn)
@@ -379,13 +384,22 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 		sources = sources[:k]
 	}
 
+	var recSpan *trace.Span
+	if st.span != nil {
+		recSpan = st.span.Child("reconstruct", now)
+		recSpan.Annotate(trace.Int("sources", int64(len(sources))),
+			trace.Int("stripe", int64(stripe)))
+	}
 	remaining := len(sources)
 	finish := func() {
 		remaining--
 		if remaining > 0 {
 			return
 		}
-		r.eng.After(ecDecodeTime, func(sim.Time) { s.completeRead(inst, req) })
+		r.eng.After(ecDecodeTime, func(tnow sim.Time) {
+			recSpan.EndAt(tnow)
+			s.completeRead(inst, req)
+		})
 	}
 	chunkBytes := int64(r.cfg.Geometry.PageSize)
 	for _, src := range sources {
@@ -406,10 +420,16 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 				if cross {
 					// The chunk ships back over the metered spine link,
 					// then the remote-rack edge hops.
-					r.cluster.crossFetch(chunkBytes, func(sim.Time) {
+					fs, fe := r.cluster.crossFetch(chunkBytes, func(sim.Time) {
 						back := r.cluster.spineLatency + r.net.PathLatency(r.eng.Now(), 2)
 						r.eng.After(back, func(sim.Time) { finish() })
 					})
+					if recSpan != nil {
+						if tnow := r.eng.Now(); fs > tnow {
+							recSpan.Child("spine_wait", tnow).EndAt(fs)
+						}
+						recSpan.Child("spine_xfer", fs).EndAt(fe)
+					}
 					return
 				}
 				back := r.net.PathLatency(r.eng.Now(), 2)
@@ -554,6 +574,14 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 		return
 	}
 
+	// One always-kept repair span per batch; the key folds group and
+	// holder so every holder's batches share one Perfetto row.
+	sp := r.tracer.StartSpan("repair", "repair",
+		uint64(g.idx)*64+uint64(task.Holder), now)
+	sp.Annotate(trace.Int("group", int64(g.idx)), trace.Int("holder", int64(task.Holder)),
+		trace.Int("first_stripe", int64(task.FirstStripe)),
+		trace.Int("stripes", int64(task.Stripes)))
+
 	var end sim.Time
 	var crossBytes int64
 	readDur := sim.Time(task.Stripes) * r.cfg.Device.ReadPage
@@ -584,6 +612,8 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 	}
 	end += sim.Time(task.Stripes)*ecDecodeTime + r.net.PathLatency(now, 2)
 	r.eng.At(end, func(now sim.Time) {
+		sp.Annotate(trace.Int("cross_bytes", crossBytes))
+		sp.Finish(now)
 		r.lastRepairDone = now
 		if g.recon.Done(task) {
 			r.reintegrate(g, task.Holder)
@@ -663,5 +693,12 @@ func (r *Rack) reintegrate(g *ecGroup, holder int) {
 		if restored {
 			r.restoredHolders++
 		}
+		mode := "replacement"
+		if restored {
+			mode = "restored"
+		}
+		r.tracer.Instant("repair", "reintegrate", r.eng.Now(),
+			trace.Int("group", int64(g.idx)), trace.Int("holder", int64(holder)),
+			trace.String("mode", mode))
 	})
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"rackblox/internal/sim"
 	"rackblox/internal/switchsim"
+	"rackblox/internal/trace"
 )
 
 // Failure handling (§3.7 "Others"): RackBlox detects failures with
@@ -436,6 +437,10 @@ func (r *Rack) watchTimeout(seq uint64) {
 			st.ecPending = 0
 			st.arrival, st.dispatched, st.deviceDone = 0, 0, 0
 			st.bounced, st.redirected = false, false
+			// The new attempt re-anchors the span's phase partition: time
+			// up to here becomes the retransmit phase.
+			st.lastIssue = r.eng.Now()
+			st.span.Annotate(trace.Int("retry", int64(st.retries)))
 			r.reqs[st.seq] = st
 			r.watchTimeout(st.seq)
 			r.sendEC(st)

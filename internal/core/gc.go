@@ -199,6 +199,7 @@ func (r *Rack) startGCBurst(inst *instance, target float64) {
 	if r.TraceGC != nil {
 		r.TraceGC(inst.id, inst.lastGCType, r.eng.Now(), end, burst.Blocks)
 	}
+	r.tracer.RecordGC(inst.id, inst.lastGCType.String(), r.eng.Now(), end, burst.Blocks)
 	r.eng.At(end, func(sim.Time) {
 		// A protected soft episode stays open — switch bit set, reads
 		// redirected — until the ratio is restored. Closing and

@@ -5,6 +5,7 @@ import (
 
 	"rackblox/internal/sim"
 	"rackblox/internal/stats"
+	"rackblox/internal/trace"
 )
 
 // SLO-aware spine repair pacing. The ROADMAP's last open co-design loop:
@@ -243,7 +244,14 @@ func (p *RepairPacer) violationFraction() float64 {
 func (r *Rack) pacerTick() {
 	now := r.eng.Now()
 	active := r.repairActive()
+	before := len(r.pacer.timeline)
 	r.pacer.tick(now, active)
+	if len(r.pacer.timeline) > before {
+		// The AIMD controller moved the admission rate: a control-plane
+		// moment for the flight recorder.
+		r.tracer.Instant("pacer", "rate_change", now,
+			trace.Int("rate_kbps", int64(r.pacer.rateMBps*1000)))
+	}
 	if now < r.stopIssuing || active {
 		r.eng.After(r.pacer.slo.Interval, func(sim.Time) { r.pacerTick() })
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rackblox/internal/ec"
 	"rackblox/internal/netsim"
 	"rackblox/internal/packet"
 	"rackblox/internal/predictor"
@@ -12,6 +13,7 @@ import (
 	"rackblox/internal/ssd"
 	"rackblox/internal/stats"
 	"rackblox/internal/switchsim"
+	"rackblox/internal/trace"
 	"rackblox/internal/vssd"
 	"rackblox/internal/workload"
 )
@@ -104,6 +106,15 @@ type reqState struct {
 	homeID    uint32
 	ecPending int
 	retries   int
+
+	// Flight-recorder state: span is the request's root trace span (nil
+	// when tracing is off — all span methods are nil-safe), lastIssue the
+	// issue instant of the current attempt (retransmissions reset it so
+	// the retransmit phase is attributable), degraded marks a read served
+	// by k-chunk reconstruction.
+	span      *trace.Span
+	lastIssue sim.Time
+	degraded  bool
 }
 
 // decInflight releases the client-window slot of the owning volume.
@@ -159,6 +170,22 @@ type Rack struct {
 	// TraceGC, when set, observes every GC episode (diagnostics).
 	TraceGC func(vssd uint32, gcType packet.GCField, start, end sim.Time, blocks int)
 
+	// tracer is the flight recorder (nil unless Config.Trace.Enabled; a
+	// nil tracer no-ops every call, so the datapath records
+	// unconditionally). metrics and metricsWin drive the time-series
+	// sampler when Config.MetricsInterval > 0 — metricsWin is a separate
+	// read-latency window so sampling shares nothing with the pacer's
+	// control loop.
+	tracer     *trace.Tracer
+	metrics    *stats.TimeSeries
+	metricsWin *stats.WindowedQuantile
+	// perRackReqs counts request sub-operations arriving at each rack's
+	// servers; completedReads/completedWrites count finished logical
+	// requests. Plain counters: always maintained, observer-read.
+	perRackReqs     []int64
+	completedReads  int64
+	completedWrites int64
+
 	// counters
 	failovers     int64
 	lostRequests  int64
@@ -201,6 +228,8 @@ func NewRack(cfg Config) (*Rack, error) {
 	r.net = netsim.New(cfg.Net, r.rng.Fork(100))
 	r.cluster = newCluster(r)
 	r.sw = r.cluster.tors[0]
+	r.tracer = trace.New(cfg.Trace)
+	r.perRackReqs = make([]int64, r.cluster.racks)
 	if cfg.RepairSLO.Enabled() {
 		// Validate guarantees Racks > 1, so the spine exists.
 		r.pacer = newRepairPacer(r.eng, r.cluster.spine, &cfg)
@@ -237,8 +266,43 @@ func NewRack(cfg Config) (*Rack, error) {
 			return nil, err
 		}
 	}
+	if r.tracer != nil {
+		r.installTraceHooks()
+	}
 	r.precondition()
 	return r, nil
+}
+
+// installTraceHooks wires the pure-observer hooks of the lower layers
+// into the flight recorder: ToR pipeline dwell becomes a child span on
+// the in-flight request, and reconstructor queue transitions become
+// control-plane instants. Only called with tracing enabled, and every
+// hook only reads state — the traced event sequence stays identical.
+func (r *Rack) installTraceHooks() {
+	for j, tor := range r.cluster.tors {
+		j := j
+		tor.TraceHook = func(ev switchsim.TraceEvent) {
+			if ev.Seq == 0 {
+				return // control traffic (gc_op, registration) has no request
+			}
+			st := r.reqs[ev.Seq]
+			if st == nil || st.span == nil {
+				return
+			}
+			c := st.span.Child("tor", ev.Arrived)
+			c.EndAt(ev.Arrived + ev.Dwell)
+			c.Annotate(trace.Int("rack", int64(j)), trace.String("op", ev.Op.String()))
+		}
+	}
+	for _, g := range r.groups {
+		g := g
+		g.recon.TraceHook = func(op string, t ec.RepairTask) {
+			r.tracer.Instant("repair", "recon_"+op, r.eng.Now(),
+				trace.Int("group", int64(g.idx)),
+				trace.Int("holder", int64(t.Holder)),
+				trace.Int("stripes", int64(t.Stripes)))
+		}
+	}
 }
 
 // channelAllocator returns a per-server channel allocator; nextChannel

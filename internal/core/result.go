@@ -4,6 +4,7 @@ import (
 	"rackblox/internal/sim"
 	"rackblox/internal/stats"
 	"rackblox/internal/switchsim"
+	"rackblox/internal/trace"
 )
 
 // Result is the outcome of one rack run.
@@ -110,6 +111,24 @@ type Result struct {
 	SimulatedTime sim.Time
 	// Events is the number of discrete events processed.
 	Events uint64
+	// EventsByHandler breaks Events down by handler label ("resource",
+	// "paced.wake", "switch.pipeline", "other") — a cheap profile of
+	// where the engine's work went.
+	EventsByHandler map[string]uint64 `json:",omitempty"`
+
+	// Flight recorder output (Config.Trace / Config.MetricsInterval).
+	// All three are nil/empty unless explicitly enabled; the recorder is
+	// observer-only, so enabling it never changes any other field.
+	//
+	// Trace holds the retained request spans (head-sampled plus the
+	// slowest-read tail reservoir), control-plane instants, and GC
+	// windows; WriteChromeTrace renders it for Perfetto.
+	Trace *trace.Trace `json:",omitempty"`
+	// Timelines is the periodic metrics sampled every MetricsInterval.
+	Timelines *stats.TimeSeries `json:",omitempty"`
+	// TailAttribution is the per-phase latency share of the slowest 1%
+	// of measured reads; fractions sum to ~1.
+	TailAttribution []trace.PhaseShare `json:",omitempty"`
 }
 
 // Run executes one configured experiment end to end.
@@ -125,6 +144,7 @@ func Run(cfg Config) (*Result, error) {
 // monitors patrol, then the event queue drains outstanding work.
 func (r *Rack) Run() *Result {
 	r.stopIssuing = r.cfg.Warmup + r.cfg.Duration
+	r.startMetrics()
 	r.startClients()
 	r.startGCMonitors()
 	r.scheduleFailure()
@@ -155,7 +175,13 @@ func (r *Rack) Run() *Result {
 		LostReads:          r.lostReads,
 		SimulatedTime:      r.eng.Now(),
 		Events:             r.eng.Processed(),
+		EventsByHandler:    r.eng.ProcessedBy(),
 	}
+	if r.tracer != nil {
+		res.Trace = r.tracer.Collect()
+		res.TailAttribution = res.Trace.TailAttribution(0.01)
+	}
+	res.Timelines = r.metrics
 	res.CrossRackRepairBytes = r.cluster.crossRepairBytes
 	res.CrossRackRepairBytesOffered = r.cluster.crossRepairOffered
 	res.CrossRackFetches = r.cluster.crossFetches

@@ -56,6 +56,7 @@ func (s *server) receive(pkt packet.Packet) {
 			st.arrival = now
 			st.netIn = now - st.issue
 		}
+		s.rack.perRackReqs[s.rackIdx]++
 		if st.pair != nil && pkt.VSSD != st.pair.primary.id {
 			st.redirected = true
 		}

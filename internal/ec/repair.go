@@ -33,6 +33,18 @@ type Reconstructor struct {
 	remaining map[int]int
 	// gen is each holder's current repair generation (see Reset).
 	gen map[int]int
+
+	// TraceHook, when non-nil, observes queue transitions ("enqueue",
+	// "done", "reset") for the flight recorder. Pure observer: it must
+	// not touch the queue.
+	TraceHook func(op string, t RepairTask)
+}
+
+// notify reports one queue transition to the trace hook, if installed.
+func (r *Reconstructor) notify(op string, t RepairTask) {
+	if r.TraceHook != nil {
+		r.TraceHook(op, t)
+	}
 }
 
 // NewReconstructor returns an empty repair queue.
@@ -46,6 +58,7 @@ func (r *Reconstructor) Enqueue(t RepairTask) {
 	t.Gen = r.gen[t.Holder]
 	r.pending = append(r.pending, t)
 	r.remaining[t.Holder] += t.Stripes
+	r.notify("enqueue", t)
 }
 
 // EnqueueChunk splits the repair of one lost holder's chunks over
@@ -109,6 +122,7 @@ func (r *Reconstructor) Done(t RepairTask) (holderComplete bool) {
 	if t.Gen != r.gen[t.Holder] {
 		return false
 	}
+	r.notify("done", t)
 	r.repaired += t.Stripes
 	left := r.remaining[t.Holder] - t.Stripes
 	if left > 0 {
@@ -138,6 +152,7 @@ func (r *Reconstructor) Reset(holder int) {
 	r.pending = kept
 	delete(r.remaining, holder)
 	r.gen[holder]++
+	r.notify("reset", RepairTask{Holder: holder, Gen: r.gen[holder]})
 }
 
 // Gen returns one holder's current repair generation (see Reset). The

@@ -16,6 +16,7 @@ import (
 	"rackblox/internal/sched"
 	"rackblox/internal/sim"
 	"rackblox/internal/stats"
+	"rackblox/internal/trace"
 	"rackblox/internal/wear"
 	"rackblox/internal/workload"
 )
@@ -638,7 +639,10 @@ func GCAblation(scale Scale) *Table {
 // (degraded reads reconstruct around collectors and failures), the
 // redundancy write cost (2x replicated sub-writes vs 1+m chunk
 // sub-writes), and behavior under a GC storm and under m server crashes.
-func FigEC(scale Scale) *Table {
+func FigEC(scale Scale) *Table { return FigECWith(scale, Options{}) }
+
+// FigECWith is FigEC with observability options threaded through.
+func FigECWith(scale Scale, opt Options) *Table {
 	t := &Table{ID: "FigEC", Title: "Replication vs RS(4,2): read tail, write cost, degraded reads",
 		Cols: []string{"p99_ms", "p999_ms", "kiops", "write_amp", "degraded", "lost_reads"}}
 	type scenario struct {
@@ -665,10 +669,12 @@ func FigEC(scale Scale) *Table {
 				cfg.FailServers = []int{1}
 				cfg.FailServerAt = cfg.Warmup + cfg.Duration/4
 			}
+			opt.instrument(&cfg)
 			res, err := core.Run(cfg)
 			if err != nil {
 				panic(fmt.Sprintf("experiments: %v", err))
 			}
+			opt.notify("figec", red.String()+"/"+sc.name, res)
 			reads := res.Recorder.Reads()
 			t.Rows = append(t.Rows, Row{Series: red.String(), X: sc.name,
 				Values: map[string]float64{
@@ -697,6 +703,31 @@ type Options struct {
 	// runs; 0 keeps figslo's auto-derived target (a multiple of the
 	// healthy baseline's p99) and leaves -scenario runs unpaced.
 	RepairSLOTarget sim.Time
+	// Trace enables the flight recorder for every run the experiment
+	// executes (cmd/rackbench -trace). Observer-only: the tabulated
+	// numbers are byte-identical with or without it.
+	Trace trace.Options
+	// MetricsInterval arms the time-series sampler for every run
+	// (cmd/rackbench -metrics); 0 leaves it off.
+	MetricsInterval sim.Time
+	// OnResult, when set, receives every run's full Result as it
+	// completes, keyed by the experiment id and a "series/x" label —
+	// how cmd/rackbench collects traces, timelines, and per-run
+	// counters for its JSON report.
+	OnResult func(id, series string, res *core.Result)
+}
+
+// instrument applies the observability knobs to one run's config.
+func (o Options) instrument(cfg *core.Config) {
+	cfg.Trace = o.Trace
+	cfg.MetricsInterval = o.MetricsInterval
+}
+
+// notify hands one completed run to the OnResult hook, if any.
+func (o Options) notify(id, series string, res *core.Result) {
+	if o.OnResult != nil {
+		o.OnResult(id, series, res)
+	}
 }
 
 // FigMR compares single-rack (compact) against multi-rack (spread)
@@ -748,10 +779,12 @@ func FigMR(scale Scale, opt Options) *Table {
 				cfg.FailRackIndex = 0
 				cfg.FailServerAt = cfg.Warmup + cfg.Duration/4
 			}
+			opt.instrument(&cfg)
 			res, err := core.Run(cfg)
 			if err != nil {
 				panic(fmt.Sprintf("experiments: %v", err))
 			}
+			opt.notify("figmr", pl.series+"/"+sc.name, res)
 			reads := res.Recorder.Reads()
 			t.Rows = append(t.Rows, Row{Series: pl.series, X: sc.name,
 				Values: map[string]float64{
@@ -861,10 +894,12 @@ func FigRL(scale Scale, opt Options) *Table {
 		cfg.Warmup = ph.measure
 		cfg.Duration = window
 		ph.mutate(&cfg)
+		opt.instrument(&cfg)
 		res, err := core.Run(cfg)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))
 		}
+		opt.notify("figrl", ph.series+"/"+ph.x, res)
 		reads := res.Recorder.Reads()
 		mean := reads.Mean() / 1e6
 		if ph.series == "healthy" {
@@ -948,10 +983,12 @@ func FigSC(scale Scale, opt Options) *Table {
 		cfg.Warmup = ph.measure
 		cfg.Duration = window
 		cfg.Scenario = ph.events
+		opt.instrument(&cfg)
 		res, err := core.Run(cfg)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))
 		}
+		opt.notify("figsc", ph.series+"/"+ph.x, res)
 		reads := res.Recorder.Reads()
 		mean := reads.Mean() / 1e6
 		if ph.series == "healthy" {
@@ -995,10 +1032,12 @@ func ScenarioSummary(events []core.Event, scale Scale, opt Options) (*Table, err
 	if opt.RepairSLOTarget > 0 {
 		cfg.RepairSLO = core.RepairSLO{TargetP99: opt.RepairSLOTarget}
 	}
+	opt.instrument(&cfg)
 	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
+	opt.notify("scenario", "run", res)
 	reads := res.Recorder.Reads()
 	t := &Table{
 		ID:    "Scenario",
@@ -1117,7 +1156,7 @@ func ByIDWith(id string, scale Scale, opt Options) ([]*Table, error) {
 	case "gcablation":
 		return []*Table{GCAblation(scale)}, nil
 	case "figec":
-		return []*Table{FigEC(scale)}, nil
+		return []*Table{FigECWith(scale, opt)}, nil
 	case "figmr":
 		return []*Table{FigMR(scale, opt)}, nil
 	case "figrl":

@@ -67,10 +67,12 @@ func FigSLO(scale Scale, opt Options) *Table {
 		cfg := sloConfig(scale, opt)
 		cfg.Scenario = events
 		cfg.RepairSLO = slo
+		opt.instrument(&cfg)
 		res, err := core.Run(cfg)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %s: %v", series, err))
 		}
+		opt.notify("figslo", series, res)
 		return res
 	}
 	cycle := []core.Event{

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"rackblox/internal/core"
+	"rackblox/internal/sim"
+	"rackblox/internal/trace"
+)
+
+// sloCycleConfig is the figslo paced run's configuration: the
+// repeated-fault timeline on the scarce spine with the repair pacer on —
+// the densest mix of datapath, GC, repair, and control-plane activity
+// the flight recorder instruments.
+func sloCycleConfig() core.Config {
+	cfg := sloConfig(tiny, Options{})
+	cfg.Scenario = []core.Event{
+		core.FailServer(0, scFailAt),
+		core.ReviveServer(0, scReviveAt),
+		core.FailServer(0, scFail2At),
+	}
+	cfg.RepairSLO = core.RepairSLO{TargetP99: 20 * sim.Millisecond}
+	return cfg
+}
+
+// TestObservabilityIsObserverOnly is the flight recorder's hard
+// contract: enabling tracing and metrics must not perturb the simulated
+// outcome. A traced+metered figslo-cycle run must be byte-identical to
+// the plain run in everything except the recorder's own output fields.
+func TestObservabilityIsObserverOnly(t *testing.T) {
+	off, err := core.Run(sloCycleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := sloCycleConfig()
+	traced.Trace = trace.Options{Enabled: true, SampleEvery: 4}
+	traced.MetricsInterval = sim.Millisecond
+	on, err := core.Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recorder actually recorded.
+	if on.Trace == nil || on.Trace.TotalReads == 0 || len(on.Trace.Spans) == 0 {
+		t.Fatal("traced run kept no spans")
+	}
+	if len(on.Trace.Instants) == 0 {
+		t.Fatal("traced run recorded no control-plane instants")
+	}
+	if on.Timelines == nil || on.Timelines.Len() == 0 {
+		t.Fatal("metered run sampled no timeline points")
+	}
+	sum := 0.0
+	for _, s := range on.TailAttribution {
+		sum += s.Fraction
+	}
+	if math.Abs(sum-1) > 0.02 {
+		t.Fatalf("tail attribution fractions sum to %g, want ~1 (%+v)", sum, on.TailAttribution)
+	}
+
+	// Strip the recorder's own output and config knobs; everything that
+	// remains must be byte-identical.
+	if off.Events != on.Events {
+		t.Fatalf("event counts differ: off %d, on %d — observation perturbed the run", off.Events, on.Events)
+	}
+	if off.Recorder.Reads().P99() != on.Recorder.Reads().P99() {
+		t.Fatalf("read p99 differs: off %d, on %d", off.Recorder.Reads().P99(), on.Recorder.Reads().P99())
+	}
+	on.Trace, on.Timelines, on.TailAttribution = nil, nil, nil
+	on.Config.Trace = trace.Options{}
+	on.Config.MetricsInterval = 0
+	a, err := json.Marshal(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("traced run's Result differs from plain run's\noff: %.400s\non:  %.400s", a, b)
+	}
+}
+
+// TestTracedRunsProduceIdenticalArtifacts replays the traced run and
+// asserts the exported artifacts — the Chrome trace JSON and the metrics
+// CSV — are byte-identical across replays, so a flight recording is as
+// reproducible as the simulation it observes.
+func TestTracedRunsProduceIdenticalArtifacts(t *testing.T) {
+	runOnce := func() *core.Result {
+		cfg := sloCycleConfig()
+		cfg.Trace = trace.Options{Enabled: true, SampleEvery: 4}
+		cfg.MetricsInterval = sim.Millisecond
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first, second := runOnce(), runOnce()
+
+	var t1, t2 bytes.Buffer
+	if err := first.Trace.WriteChromeTrace(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Trace.WriteChromeTrace(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Fatal("two traced replays produced different trace files")
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(t1.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace export has no events")
+	}
+
+	var c1, c2 bytes.Buffer
+	if err := first.Timelines.WriteCSV(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Timelines.WriteCSV(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Fatal("two metered replays produced different metrics CSVs")
+	}
+}

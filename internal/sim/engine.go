@@ -27,7 +27,10 @@ type EventFunc func(now Time)
 type event struct {
 	at  Time
 	seq uint64
-	fn  EventFunc
+	// label attributes the event to a handler class for ProcessedBy;
+	// "" counts as "other".
+	label string
+	fn    EventFunc
 }
 
 type eventHeap []event
@@ -57,7 +60,21 @@ type Engine struct {
 	events eventHeap
 	// processed counts executed events, useful as a runaway guard in tests.
 	processed uint64
-	stopped   bool
+	// byLabel breaks processed down per handler label (AtNamed), a
+	// profiling view of where the event budget goes.
+	byLabel map[string]uint64
+	stopped bool
+
+	// Observer tick: fn fires at every multiple of tickInterval that
+	// falls before the next event executes. It is NOT an event — it is
+	// invoked between events without touching the heap, the sequence
+	// counter, or the processed count, so enabling it cannot perturb
+	// the simulation. The callback must only observe (read state,
+	// record samples): scheduling events or drawing randomness from it
+	// would break that guarantee.
+	tickInterval Time
+	nextTick     Time
+	tickFn       func(at Time)
 }
 
 // NewEngine returns an engine with time zero and no pending events.
@@ -72,9 +89,22 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Processed reports the number of executed events so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// ProcessedBy returns a copy of the per-handler event counts. Events
+// scheduled without a label (At/After) count under "other".
+func (e *Engine) ProcessedBy() map[string]uint64 {
+	out := make(map[string]uint64, len(e.byLabel))
+	for k, v := range e.byLabel {
+		out[k] = v
+	}
+	return out
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn EventFunc) {
+func (e *Engine) At(t Time, fn EventFunc) { e.AtNamed(t, "", fn) }
+
+// AtNamed is At with a handler label for the ProcessedBy breakdown.
+func (e *Engine) AtNamed(t Time, label string, fn EventFunc) {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
@@ -82,15 +112,48 @@ func (e *Engine) At(t Time, fn EventFunc) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	heap.Push(&e.events, event{at: t, seq: e.seq, label: label, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
-func (e *Engine) After(d Time, fn EventFunc) {
+func (e *Engine) After(d Time, fn EventFunc) { e.AfterNamed(d, "", fn) }
+
+// AfterNamed is After with a handler label for the ProcessedBy breakdown.
+func (e *Engine) AfterNamed(d Time, label string, fn EventFunc) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	e.At(e.now+d, fn)
+	e.AtNamed(e.now+d, label, fn)
+}
+
+// SetTick installs (or, with interval <= 0 or nil fn, removes) the
+// observer tick: fn(boundary) fires at every multiple of interval from
+// now on, interleaved between events without being one. See the field
+// comment on Engine for the observer-only contract.
+func (e *Engine) SetTick(interval Time, fn func(at Time)) {
+	if interval <= 0 || fn == nil {
+		e.tickInterval, e.tickFn = 0, nil
+		return
+	}
+	e.tickInterval = interval
+	e.tickFn = fn
+	e.nextTick = e.now + interval
+}
+
+// fireTicks runs the observer tick for every boundary <= upto. The
+// clock visibly advances to each boundary so the observer reads
+// time-dependent state (utilizations) consistently, then the caller
+// advances it past upto; boundaries are <= the next event's time, so
+// causality is preserved.
+func (e *Engine) fireTicks(upto Time) {
+	if e.tickFn == nil {
+		return
+	}
+	for e.nextTick <= upto {
+		e.now = e.nextTick
+		e.tickFn(e.nextTick)
+		e.nextTick += e.tickInterval
+	}
 }
 
 // Stop makes Run and RunUntil return after the current event completes.
@@ -103,8 +166,17 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(event)
+	e.fireTicks(ev.at)
 	e.now = ev.at
 	e.processed++
+	if e.byLabel == nil {
+		e.byLabel = make(map[string]uint64)
+	}
+	if ev.label == "" {
+		e.byLabel["other"]++
+	} else {
+		e.byLabel[ev.label]++
+	}
 	ev.fn(e.now)
 	return true
 }
@@ -122,6 +194,9 @@ func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped && len(e.events) > 0 && e.events[0].at <= deadline {
 		e.Step()
+	}
+	if !e.stopped {
+		e.fireTicks(deadline)
 	}
 	if e.now < deadline {
 		e.now = deadline

@@ -147,7 +147,7 @@ func (p *PacedBandwidth) pump() {
 			wait := Time((need-p.tokens)/p.rate*float64(Second)) + 1
 			p.wake++
 			gen := p.wake
-			p.eng.After(wait, func(Time) {
+			p.eng.AfterNamed(wait, "paced.wake", func(Time) {
 				if gen == p.wake {
 					p.pump()
 				}

@@ -64,7 +64,7 @@ func (r *Resource) Acquire(dur Time, done func(start, end Time)) (start, end Tim
 	r.busy += dur
 	r.ops++
 	if done != nil {
-		r.eng.At(end, func(Time) { done(start, end) })
+		r.eng.AtNamed(end, "resource", func(Time) { done(start, end) })
 	}
 	return start, end
 }

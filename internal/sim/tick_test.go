@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestObserverTickFiresAtBoundaries(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	e.SetTick(10, func(at Time) {
+		ticks = append(ticks, at)
+		if e.Now() != at {
+			t.Fatalf("tick at %d saw Now() = %d", at, e.Now())
+		}
+	})
+	var events []Time
+	for _, at := range []Time{5, 25, 30, 47} {
+		at := at
+		e.At(at, func(now Time) { events = append(events, now) })
+	}
+	e.Run()
+	// Boundaries at every multiple of 10 up to the last event's time:
+	// the tick at 30 fires before the event at 30, and the boundary at
+	// 40 fires before the event at 47.
+	if want := []Time{10, 20, 30, 40}; !reflect.DeepEqual(ticks, want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	if want := []Time{5, 25, 30, 47}; !reflect.DeepEqual(events, want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+}
+
+func TestObserverTickIsNotAnEvent(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.SetTick(7, func(Time) { fired++ })
+	e.At(100, func(Time) {})
+	e.Run()
+	if fired == 0 {
+		t.Fatal("tick never fired")
+	}
+	if got := e.Processed(); got != 1 {
+		t.Fatalf("processed = %d, want 1 (ticks must not count as events)", got)
+	}
+	if by := e.ProcessedBy(); by["other"] != 1 || len(by) != 1 {
+		t.Fatalf("ProcessedBy = %v, want only other:1", by)
+	}
+}
+
+func TestObserverTickRunUntilCoversDeadline(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	e.SetTick(10, func(at Time) { ticks = append(ticks, at) })
+	e.At(5, func(Time) {})
+	e.RunUntil(35)
+	if want := []Time{10, 20, 30}; !reflect.DeepEqual(ticks, want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	if e.Now() != 35 {
+		t.Fatalf("now = %d, want 35", e.Now())
+	}
+}
+
+func TestSetTickRemoval(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.SetTick(10, func(Time) { fired++ })
+	e.SetTick(0, nil)
+	e.At(100, func(Time) {})
+	e.Run()
+	if fired != 0 {
+		t.Fatalf("removed tick fired %d times", fired)
+	}
+}
+
+func TestProcessedByLabels(t *testing.T) {
+	e := NewEngine()
+	e.AtNamed(1, "alpha", func(Time) {})
+	e.AtNamed(2, "alpha", func(Time) {})
+	e.AfterNamed(3, "beta", func(Time) {})
+	e.At(4, func(Time) {})
+	e.Run()
+	got := e.ProcessedBy()
+	want := map[string]uint64{"alpha": 2, "beta": 1, "other": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ProcessedBy = %v, want %v", got, want)
+	}
+	// The returned map is a copy: mutating it must not corrupt the engine.
+	got["alpha"] = 99
+	if e.ProcessedBy()["alpha"] != 2 {
+		t.Fatal("ProcessedBy returned a live reference")
+	}
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ColKind distinguishes the two time-series column semantics.
+type ColKind string
+
+const (
+	// Gauge columns record the instrument's value at the sample instant
+	// (spine utilization, repair backlog, windowed p99).
+	Gauge ColKind = "gauge"
+	// Counter columns record the increase of a cumulative total since
+	// the previous sample — a per-interval rate with no smoothing
+	// (requests completed, bytes moved, GC events).
+	Counter ColKind = "counter"
+)
+
+// Column describes one time-series column.
+type Column struct {
+	Name string  `json:"name"`
+	Kind ColKind `json:"kind"`
+}
+
+// Point is one sample row: every column's value at instant At.
+type Point struct {
+	At     int64     `json:"at"`
+	Values []float64 `json:"values"`
+}
+
+// TimeSeries samples a set of gauge and counter instruments at a fixed
+// interval of virtual time. It is driven externally (the sim engine's
+// observer tick calls Sample) so sampling never perturbs the event
+// sequence: reading instruments schedules nothing and draws no
+// randomness.
+type TimeSeries struct {
+	// Interval is the sampling period in virtual nanoseconds.
+	Interval int64    `json:"interval_ns"`
+	Columns  []Column `json:"columns"`
+	Points   []Point  `json:"points"`
+
+	fns  []func() float64
+	prev []float64
+}
+
+// NewTimeSeries returns an empty series sampling at the given interval.
+func NewTimeSeries(interval int64) *TimeSeries {
+	return &TimeSeries{Interval: interval}
+}
+
+// Gauge registers a column sampled as fn's value at each instant.
+func (ts *TimeSeries) Gauge(name string, fn func() float64) {
+	ts.Columns = append(ts.Columns, Column{Name: name, Kind: Gauge})
+	ts.fns = append(ts.fns, fn)
+	ts.prev = append(ts.prev, 0)
+}
+
+// Counter registers a column whose fn returns a cumulative total; each
+// sample records the delta since the previous sample (the first sample
+// counts from zero).
+func (ts *TimeSeries) Counter(name string, fn func() float64) {
+	ts.Columns = append(ts.Columns, Column{Name: name, Kind: Counter})
+	ts.fns = append(ts.fns, fn)
+	ts.prev = append(ts.prev, 0)
+}
+
+// Sample reads every instrument and appends one point at instant at.
+func (ts *TimeSeries) Sample(at int64) {
+	vals := make([]float64, len(ts.fns))
+	for i, fn := range ts.fns {
+		v := fn()
+		if ts.Columns[i].Kind == Counter {
+			vals[i] = v - ts.prev[i]
+			ts.prev[i] = v
+		} else {
+			vals[i] = v
+		}
+	}
+	ts.Points = append(ts.Points, Point{At: at, Values: vals})
+}
+
+// Len returns the number of collected points.
+func (ts *TimeSeries) Len() int { return len(ts.Points) }
+
+// ColumnNames returns the column names in declaration order.
+func (ts *TimeSeries) ColumnNames() []string {
+	names := make([]string, len(ts.Columns))
+	for i, c := range ts.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// formatFloat renders values compactly and losslessly for CSV.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV writes the series as CSV: a header row "at_ns,<col>,..."
+// then one row per point. Column kinds are not encoded; ParseCSV
+// restores them as gauges.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("at_ns")
+	for _, c := range ts.Columns {
+		bw.WriteByte(',')
+		bw.WriteString(c.Name)
+	}
+	bw.WriteByte('\n')
+	for _, p := range ts.Points {
+		bw.WriteString(strconv.FormatInt(p.At, 10))
+		for _, v := range p.Values {
+			bw.WriteByte(',')
+			bw.WriteString(formatFloat(v))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ParseCSV reads a series back from WriteCSV's format. The sampling
+// interval is inferred from the first two points (0 with fewer), and
+// every column comes back as a gauge — kinds only matter while
+// sampling, which a parsed series does not do.
+func ParseCSV(r io.Reader) (*TimeSeries, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("stats: empty CSV")
+	}
+	header := strings.Split(sc.Text(), ",")
+	if len(header) < 1 || header[0] != "at_ns" {
+		return nil, fmt.Errorf("stats: bad CSV header %q", sc.Text())
+	}
+	ts := &TimeSeries{}
+	for _, name := range header[1:] {
+		ts.Columns = append(ts.Columns, Column{Name: name, Kind: Gauge})
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("stats: row has %d fields, header has %d", len(fields), len(header))
+		}
+		at, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stats: bad at_ns %q: %v", fields[0], err)
+		}
+		vals := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stats: bad value %q: %v", f, err)
+			}
+			vals[i] = v
+		}
+		ts.Points = append(ts.Points, Point{At: at, Values: vals})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ts.Points) >= 2 {
+		ts.Interval = ts.Points[1].At - ts.Points[0].At
+	}
+	return ts, nil
+}

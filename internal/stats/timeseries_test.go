@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTimeSeriesGaugeVsCounter(t *testing.T) {
+	var g, c float64
+	ts := NewTimeSeries(100)
+	ts.Gauge("g", func() float64 { return g })
+	ts.Counter("c", func() float64 { return c })
+
+	g, c = 5, 10
+	ts.Sample(100)
+	g, c = 3, 25
+	ts.Sample(200)
+	g, c = 3, 25 // counter flat: delta must be zero
+	ts.Sample(300)
+
+	want := []Point{
+		{At: 100, Values: []float64{5, 10}}, // first counter sample counts from zero
+		{At: 200, Values: []float64{3, 15}},
+		{At: 300, Values: []float64{3, 0}},
+	}
+	if !reflect.DeepEqual(ts.Points, want) {
+		t.Fatalf("points = %+v, want %+v", ts.Points, want)
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ts.Len())
+	}
+	if names := ts.ColumnNames(); !reflect.DeepEqual(names, []string{"g", "c"}) {
+		t.Fatalf("ColumnNames = %v", names)
+	}
+	if ts.Columns[0].Kind != Gauge || ts.Columns[1].Kind != Counter {
+		t.Fatalf("column kinds = %+v", ts.Columns)
+	}
+}
+
+func TestTimeSeriesCSVRoundTrip(t *testing.T) {
+	v := 0.0
+	ts := NewTimeSeries(250)
+	ts.Gauge("util", func() float64 { return v })
+	ts.Gauge("p99_ms", func() float64 { return v * 1.5 })
+	for i := 1; i <= 4; i++ {
+		v = float64(i) * 0.125 // exact in binary: round-trips losslessly
+		ts.Sample(int64(i) * 250)
+	}
+
+	var buf bytes.Buffer
+	if err := ts.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "at_ns,util,p99_ms\n") {
+		t.Fatalf("header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+
+	got, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Points, ts.Points) {
+		t.Fatalf("round-trip points = %+v, want %+v", got.Points, ts.Points)
+	}
+	// The interval is inferred from the first two points.
+	if got.Interval != 250 {
+		t.Fatalf("inferred interval = %d, want 250", got.Interval)
+	}
+	if !reflect.DeepEqual(got.ColumnNames(), ts.ColumnNames()) {
+		t.Fatalf("round-trip columns = %v", got.ColumnNames())
+	}
+}
+
+func TestTimeSeriesCSVIntervalEdges(t *testing.T) {
+	// Zero and one point: no interval can be inferred.
+	for _, n := range []int{0, 1} {
+		ts := NewTimeSeries(100)
+		ts.Gauge("x", func() float64 { return 1 })
+		for i := 0; i < n; i++ {
+			ts.Sample(int64(i+1) * 100)
+		}
+		var buf bytes.Buffer
+		if err := ts.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseCSV(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Interval != 0 {
+			t.Fatalf("n=%d: inferred interval = %d, want 0", n, got.Interval)
+		}
+		if got.Len() != n {
+			t.Fatalf("n=%d: parsed %d points", n, got.Len())
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "time,util\n"},
+		{"ragged row", "at_ns,util\n100,1,2\n"},
+		{"bad at", "at_ns,util\nxyz,1\n"},
+		{"bad value", "at_ns,util\n100,xyz\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseCSV(strings.NewReader(c.in)); err == nil {
+			t.Fatalf("%s: ParseCSV accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestParseCSVSkipsBlankLines(t *testing.T) {
+	got, err := ParseCSV(strings.NewReader("at_ns,util\n100,1\n\n200,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Points[1].At != 200 {
+		t.Fatalf("points = %+v", got.Points)
+	}
+}

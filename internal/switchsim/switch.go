@@ -120,6 +120,30 @@ type Switch struct {
 	// the vSSD retries three times then collects anyway).
 	dropRate float64
 	dropRNG  *sim.RNG
+
+	// TraceHook, when non-nil, observes every packet leaving the
+	// pipeline. It is a pure observer: it runs after the routing
+	// decision is made and must not mutate the packet or schedule
+	// events, so installing it never changes a run.
+	TraceHook func(ev TraceEvent)
+}
+
+// TraceEvent describes one packet's passage through the switch pipeline
+// for the flight recorder: when it arrived at the egress queue, the
+// total in-switch dwell (queueing plus match-action latency), and what
+// the pipeline decided.
+type TraceEvent struct {
+	// Seq is the end-to-end request sequence number (0 for control
+	// packets such as gc_ops).
+	Seq  uint64
+	VSSD uint32
+	Op   packet.Op
+	// Rack is the switch's rack id.
+	Rack int
+	// Arrived is when the packet entered the egress queue; the pipeline
+	// released it at Arrived+Dwell-PipelineLatency.
+	Arrived sim.Time
+	Dwell   sim.Time
 }
 
 // New builds a switch with the given egress discipline and forwarder.
@@ -470,7 +494,7 @@ func (s *Switch) Process(pkt packet.Packet) {
 	if release < now {
 		release = now
 	}
-	s.eng.At(release, func(at sim.Time) {
+	s.eng.AtNamed(release, "switch.pipeline", func(at sim.Time) {
 		s.runPipeline(pkt, now, at)
 	})
 }
@@ -478,6 +502,10 @@ func (s *Switch) Process(pkt packet.Packet) {
 // runPipeline applies Algorithm 1 after the packet clears the egress queue.
 func (s *Switch) runPipeline(pkt packet.Packet, arrived, now sim.Time) {
 	dwell := now - arrived + s.PipelineLatency
+	if s.TraceHook != nil {
+		s.TraceHook(TraceEvent{Seq: pkt.Seq, VSSD: pkt.VSSD, Op: pkt.Op,
+			Rack: s.rackID, Arrived: arrived, Dwell: dwell})
+	}
 	switch pkt.Op {
 	case packet.OpCreateVSSD:
 		s.handleCreate(pkt)

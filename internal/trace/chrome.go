@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Synthetic thread-id bases: each request renders on its own row (tid =
+// request key) so concurrent requests never stack on one another, GC
+// bursts get one row per vSSD, repair batches one row per holder, and
+// control-plane instants share row 0.
+const (
+	controlTid uint64 = 0
+	gcTidBase  uint64 = 1 << 20
+	bgTidBase  uint64 = 2 << 20
+)
+
+// chromeEvent is one Chrome trace-event object. Field order is fixed by
+// the struct (encoding/json emits struct fields in declaration order),
+// and Args maps marshal with sorted keys, so the export is byte-stable
+// for a given trace.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  uint64                 `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// us converts virtual nanoseconds to the format's microsecond floats.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// attrArgs converts typed annotations to Chrome args.
+func attrArgs(attrs []Attr, extra map[string]interface{}) map[string]interface{} {
+	if len(attrs) == 0 && len(extra) == 0 {
+		return nil
+	}
+	args := make(map[string]interface{}, len(attrs)+len(extra))
+	for k, v := range extra {
+		args[k] = v
+	}
+	for _, a := range attrs {
+		if a.Kind == AttrInt {
+			args[a.Key] = a.Int
+		} else {
+			args[a.Key] = a.Str
+		}
+	}
+	return args
+}
+
+// spanTid picks the synthetic row for a root span.
+func spanTid(s *Span) uint64 {
+	switch s.Kind {
+	case "read", "write":
+		return s.Key
+	default:
+		return bgTidBase + s.Key
+	}
+}
+
+// WriteChromeTrace exports the trace as Chrome trace-event JSON
+// ({"traceEvents": [...]}), loadable in Perfetto or chrome://tracing.
+// The output is deterministic: events are ordered (metadata, instants,
+// GC bursts, request spans depth-first) and every field renders in a
+// fixed order.
+func (tr *Trace) WriteChromeTrace(w io.Writer) error {
+	if tr == nil {
+		_, err := io.WriteString(w, "{\"traceEvents\": []}\n")
+		return err
+	}
+	var events []chromeEvent
+	meta := func(name string, tid uint64, label string) {
+		events = append(events, chromeEvent{
+			Name: name, Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]interface{}{"name": label},
+		})
+	}
+	meta("process_name", 0, "rackblox")
+	meta("thread_name", controlTid, "control plane")
+	seenGC := make(map[uint32]bool)
+	for _, g := range tr.GCSpans {
+		if !seenGC[g.VSSD] {
+			seenGC[g.VSSD] = true
+			meta("thread_name", gcTidBase+uint64(g.VSSD), fmt.Sprintf("gc vssd %d", g.VSSD))
+		}
+	}
+
+	for _, i := range tr.Instants {
+		events = append(events, chromeEvent{
+			Name: i.Name, Ph: "i", Ts: us(i.At), Pid: 1, Tid: controlTid, S: "g",
+			Args: attrArgs(i.Attrs, map[string]interface{}{"track": i.Track}),
+		})
+	}
+	for _, g := range tr.GCSpans {
+		events = append(events, chromeEvent{
+			Name: "gc " + g.Kind, Ph: "X", Ts: us(g.Start), Dur: us(g.End - g.Start),
+			Pid: 1, Tid: gcTidBase + uint64(g.VSSD),
+			Args: map[string]interface{}{"blocks": g.Blocks, "vssd": g.VSSD},
+		})
+	}
+
+	var emit func(s *Span, tid uint64, root bool)
+	emit = func(s *Span, tid uint64, root bool) {
+		extra := map[string]interface{}{}
+		if root {
+			extra["key"] = s.Key
+			if s.Kind != "" {
+				extra["kind"] = s.Kind
+			}
+			for _, p := range s.Phases {
+				extra["phase_"+p.Name+"_ns"] = int64(p.Dur)
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X", Ts: us(s.Start), Dur: us(s.Dur()),
+			Pid: 1, Tid: tid, Args: attrArgs(s.Attrs, extra),
+		})
+		for _, c := range s.Children {
+			emit(c, tid, false)
+		}
+	}
+	for _, s := range tr.Spans {
+		emit(s, spanTid(s), true)
+	}
+
+	if _, err := io.WriteString(w, "{\"traceEvents\": [\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(b, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rackblox/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace builds a small fixed trace exercising every export shape:
+// metadata, instants, GC bursts, a request span with nested children and
+// phases, and a background repair span.
+func goldenTrace() *Trace {
+	tr := New(Options{Enabled: true, SampleEvery: 1})
+	tr.Instant("scenario", "fail_server", 5*sim.Microsecond, Int("server", 2))
+	tr.Instant("pacer", "rate_change", 8*sim.Microsecond, Int("rate_kbps", 1000))
+	tr.RecordGC(1, "regular", 10*sim.Microsecond, 30*sim.Microsecond, 4)
+	tr.RecordGC(2, "soft", 12*sim.Microsecond, 18*sim.Microsecond, 1)
+
+	sp := tr.StartRequest(42, "read", 2*sim.Microsecond)
+	sp.Annotate(Int("lpn", 77), Int("volume", 0))
+	c := sp.Child("tor", 3*sim.Microsecond)
+	c.EndAt(4 * sim.Microsecond)
+	c.Annotate(Int("rack", 0), String("op", "read"))
+	x := sp.Child("spine_xfer", 4*sim.Microsecond)
+	x.EndAt(6 * sim.Microsecond)
+	x.Annotate(Int("bytes", 4096))
+	sp.Phase("net_in", 1*sim.Microsecond)
+	sp.Phase("queue", 2*sim.Microsecond)
+	sp.Phase("device", 14*sim.Microsecond)
+	sp.Phase("gc_block", 3*sim.Microsecond)
+	sp.Phase("net_out", 2*sim.Microsecond)
+	sp.Finish(24 * sim.Microsecond)
+
+	rep := tr.StartSpan("repair", "repair", 3, 15*sim.Microsecond)
+	rep.Annotate(Int("group", 0), Int("holder", 3), Int("stripes", 8))
+	rep.Finish(40 * sim.Microsecond)
+	return tr.Collect()
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export differs from golden file; regenerate with -update if intended\ngot:\n%s", buf.String())
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export has no events")
+	}
+	for _, ev := range doc.TraceEvents {
+		if _, ok := ev["ph"]; !ok {
+			t.Fatalf("event missing ph: %v", ev)
+		}
+		if _, ok := ev["name"]; !ok {
+			t.Fatalf("event missing name: %v", ev)
+		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenTrace().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenTrace().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same trace differ")
+	}
+}
+
+func TestChromeTraceNilTrace(t *testing.T) {
+	var tr *Trace
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "{\"traceEvents\": []}\n" {
+		t.Fatalf("nil trace export = %q", got)
+	}
+}
+
+func TestChromeTraceRequestRootCarriesPhases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Tid  uint64                 `json:"tid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "read" && ev.Tid == 42 {
+			found = true
+			for _, k := range []string{"key", "kind", "phase_device_ns", "phase_gc_block_ns"} {
+				if _, ok := ev.Args[k]; !ok {
+					t.Fatalf("read root missing arg %q: %v", k, ev.Args)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("read root span not exported on its key's row")
+	}
+}

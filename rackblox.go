@@ -163,6 +163,47 @@
 // (with -repair-slo overriding the auto-derived target); see
 // examples/slo.
 //
+// # Flight recorder
+//
+// The rack carries an always-available, observer-only flight recorder:
+// request tracing, time-series metrics, and p99 attribution across the
+// whole datapath. Config.Trace turns on a sim-time span tracer that
+// records where each request's latency went — client queueing, ToR
+// lookup and handoff, spine wait vs transfer, device service, GC
+// blocking, degraded-read reconstruction, retransmits — plus
+// control-plane instants (scenario fail/revive, pacer rate changes,
+// repair enqueue/re-integration) and GC bursts. Retention combines head
+// sampling (one request in TraceOptions.SampleEvery by key hash) with a
+// tail reservoir that always keeps the slowest reads, so the p99 story
+// survives sampling. Config.MetricsInterval arms a periodic sampler
+// (spine utilization, repair rate and backlog, windowed read p50/p99,
+// GC and degraded-read activity, per-rack request rates) driven by the
+// engine's observer tick.
+//
+//	cfg := rackblox.DefaultConfig()
+//	cfg.Trace = rackblox.TraceOptions{Enabled: true, SampleEvery: 8}
+//	cfg.MetricsInterval = 1_000_000 // sample every 1ms of virtual time
+//	res, _ := rackblox.Run(cfg)
+//	res.Trace.WriteChromeTrace(f)   // load f in ui.perfetto.dev
+//	res.Timelines.WriteCSV(g)       // plot the run's time series
+//	for _, s := range res.TailAttribution {
+//		fmt.Printf("%-16s %5.1f%%\n", s.Phase, 100*s.Fraction)
+//	}
+//
+// Result.Trace holds the retained spans (export with WriteChromeTrace,
+// loadable in Perfetto or chrome://tracing), Result.Timelines the
+// sampled series (export with WriteCSV), and Result.TailAttribution the
+// per-phase share of the slowest 1% of reads' latency — the direct
+// answer to "why is p99 high", with fractions summing to ~1 because
+// each request's phases tile its end-to-end latency. Both knobs are
+// observer-only by construction: the tracer and sampler never schedule
+// events and never draw randomness, so an instrumented run is
+// byte-identical to a plain one in everything but the recorder's own
+// output (asserted under test). Result.EventsByHandler breaks the
+// engine's processed-event count down per handler class in every run,
+// instrumented or not. See examples/tracing, or rackbench's -trace,
+// -metrics, and -trace-sample flags.
+//
 // Quick start:
 //
 //	cfg := rackblox.DefaultConfig()
@@ -185,6 +226,7 @@ import (
 	"rackblox/internal/netsim"
 	"rackblox/internal/sched"
 	"rackblox/internal/stats"
+	"rackblox/internal/trace"
 	"rackblox/internal/wear"
 	"rackblox/internal/workload"
 )
@@ -271,6 +313,29 @@ type RepairSLO = core.RepairSLO
 // RatePoint is one entry of Result.RepairRateTimeline: the repair
 // admission rate the AIMD controller set at a virtual-time instant.
 type RatePoint = core.RatePoint
+
+// TraceOptions enables and tunes the flight recorder (Config.Trace):
+// head-sampling rate and tail-reservoir size. The zero value disables
+// tracing.
+type TraceOptions = trace.Options
+
+// Trace is a traced run's collected output (Result.Trace): retained
+// request/repair spans, control-plane instants, and GC bursts. Export
+// with WriteChromeTrace for Perfetto.
+type Trace = trace.Trace
+
+// TraceSpan is one timed operation in a Trace: a request root with its
+// phase partition and nested children, or a background repair batch.
+type TraceSpan = trace.Span
+
+// PhaseShare is one row of Result.TailAttribution: the fraction of the
+// slowest reads' total latency spent in one datapath phase.
+type PhaseShare = trace.PhaseShare
+
+// TimeSeries is the periodic metrics sampler's output
+// (Result.Timelines); export with WriteCSV or re-load with
+// stats.ParseCSV.
+type TimeSeries = stats.TimeSeries
 
 // Event is one typed entry of a scenario timeline (Config.Scenario): a
 // fault or recovery action applied to a server or rack index at its own

@@ -21,8 +21,11 @@ func metricName(parts ...string) string {
 }
 
 // benchScale shrinks the measured windows so the full suite stays in
-// benchmark-friendly time while preserving the comparative shape.
-const benchScale = experiments.Scale(0.3)
+// benchmark-friendly time while preserving the comparative shape. It
+// MUST match the scale of the checked-in BENCH_*.json trajectory (0.25,
+// recorded in the file's "scale" field) so benchmark runs and the
+// trajectory are directly comparable.
+const benchScale = experiments.Scale(0.25)
 
 // reportTable re-emits experiment rows as benchmark metrics.
 func reportTable(b *testing.B, tables []*experiments.Table, metric string) {

@@ -65,7 +65,7 @@ func main() {
 	}
 
 	fmt.Println("\nengine events by handler:")
-	for _, h := range []string{"resource", "switch.pipeline", "paced.wake", "other"} {
+	for _, h := range []string{"resource", "switch.pipeline", "paced.wake", "scenario", "other"} {
 		if n, ok := res.EventsByHandler[h]; ok {
 			fmt.Printf("  %-16s %d\n", h, n)
 		}

@@ -243,14 +243,14 @@ func (c *Cluster) scheduleScenario(events []Event) {
 		ev := ev
 		switch ev.Kind {
 		case EventReviveServer:
-			r.eng.At(ev.At, func(now sim.Time) {
+			r.eng.AtNamed(ev.At, "scenario", func(now sim.Time) {
 				if c.ReviveServer(ev.Index) {
 					r.tracer.Instant("scenario", "revive_server", now,
 						trace.Int("server", int64(ev.Index)))
 				}
 			})
 		case EventReviveToR:
-			r.eng.At(ev.At, func(now sim.Time) {
+			r.eng.AtNamed(ev.At, "scenario", func(now sim.Time) {
 				if c.ReviveToR(ev.Index) {
 					r.tracer.Instant("scenario", "revive_tor", now,
 						trace.Int("rack", int64(ev.Index)))
@@ -267,13 +267,13 @@ func (c *Cluster) scheduleScenario(events []Event) {
 			srv := r.servers[ev.Index]
 			serverEpoch[ev.Index]++
 			epoch := serverEpoch[ev.Index]
-			r.eng.At(ev.At, func(now sim.Time) {
+			r.eng.AtNamed(ev.At, "scenario", func(now sim.Time) {
 				srv.failed = true
 				srv.crashes++
 				r.tracer.Instant("scenario", "fail_server", now,
 					trace.Int("server", int64(ev.Index)))
 			})
-			r.eng.At(ev.At+detect, func(sim.Time) {
+			r.eng.AtNamed(ev.At+detect, "scenario", func(sim.Time) {
 				// failed==false: revived before detection, a transient
 				// blip. crashes!=epoch: this detector's outage already
 				// ended and a newer crash owns the server.
@@ -289,7 +289,7 @@ func (c *Cluster) scheduleScenario(events []Event) {
 				serverEpoch[i]++
 				epochs[i-lo] = serverEpoch[i]
 			}
-			r.eng.At(ev.At, func(now sim.Time) {
+			r.eng.AtNamed(ev.At, "scenario", func(now sim.Time) {
 				for i := lo; i < hi; i++ {
 					r.servers[i].failed = true
 					r.servers[i].crashes++
@@ -297,7 +297,7 @@ func (c *Cluster) scheduleScenario(events []Event) {
 				r.tracer.Instant("scenario", "fail_rack", now,
 					trace.Int("rack", int64(ev.Index)))
 			})
-			r.eng.At(ev.At+detect, func(sim.Time) {
+			r.eng.AtNamed(ev.At+detect, "scenario", func(sim.Time) {
 				for i := lo; i < hi; i++ {
 					if r.servers[i].failed && r.servers[i].crashes == epochs[i-lo] {
 						r.onServerDetectedDead(r.servers[i])
@@ -307,12 +307,12 @@ func (c *Cluster) scheduleScenario(events []Event) {
 		case EventFailToR:
 			torEpoch[ev.Index]++
 			epoch := torEpoch[ev.Index]
-			r.eng.At(ev.At, func(now sim.Time) {
+			r.eng.AtNamed(ev.At, "scenario", func(now sim.Time) {
 				c.failToR(ev.Index)
 				r.tracer.Instant("scenario", "fail_tor", now,
 					trace.Int("rack", int64(ev.Index)))
 			})
-			r.eng.At(ev.At+detect, func(sim.Time) {
+			r.eng.AtNamed(ev.At+detect, "scenario", func(sim.Time) {
 				if c.torCrashes[ev.Index] == epoch {
 					r.onToRDetectedDead(ev.Index)
 				}

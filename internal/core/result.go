@@ -112,8 +112,8 @@ type Result struct {
 	// Events is the number of discrete events processed.
 	Events uint64
 	// EventsByHandler breaks Events down by handler label ("resource",
-	// "paced.wake", "switch.pipeline", "other") — a cheap profile of
-	// where the engine's work went.
+	// "paced.wake", "switch.pipeline", "scenario", "other") — a cheap
+	// profile of where the engine's work went.
 	EventsByHandler map[string]uint64 `json:",omitempty"`
 
 	// Flight recorder output (Config.Trace / Config.MetricsInterval).

@@ -24,12 +24,25 @@ func NewBandwidth(eng *Engine, bytesPerSec float64) *Bandwidth {
 	return &Bandwidth{res: NewResource(eng), bytesPerSec: bytesPerSec}
 }
 
-// TransferTime converts a byte count into link occupancy.
+// TransferTime converts a byte count into link occupancy, rounded UP to
+// the next nanosecond. Truncating instead (the pre-PR-7 behavior) shaved
+// a sub-nanosecond sliver off every transfer, so back-to-back transfers
+// could sum to more bytes per elapsed time than the configured rate —
+// violating the never-exceeds-capacity invariant the repair pacer and
+// the cross-rack experiments rely on — and tiny transfers at high rates
+// occupied the link for 0ns.
 func (b *Bandwidth) TransferTime(bytes int64) Time {
 	if bytes <= 0 {
 		return 0
 	}
-	return Time(float64(bytes) / b.bytesPerSec * float64(Second))
+	d := Time(float64(bytes) / b.bytesPerSec * float64(Second))
+	if float64(d) < float64(bytes)/b.bytesPerSec*float64(Second) {
+		d++
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
 }
 
 // Transfer reserves the link for bytes and calls done(start, end) when the

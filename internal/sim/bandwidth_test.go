@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+	"testing/quick"
+)
 
 func TestBandwidthTransferTime(t *testing.T) {
 	eng := NewEngine()
@@ -77,6 +80,67 @@ func TestBandwidthBytesCountOnCompletion(t *testing.T) {
 	if bw.Bytes() != 2000 || bw.OfferedBytes() != 2000 {
 		t.Fatalf("after drain: delivered %d offered %d, want 2000 each",
 			bw.Bytes(), bw.OfferedBytes())
+	}
+}
+
+// Regression (PR 7): TransferTime truncated float64(bytes)/rate*1e9
+// toward zero, shaving a sub-nanosecond sliver off every transfer. At a
+// rate like 3 B/s each 1-byte transfer occupied 333333333ns instead of
+// the true 333333333.3..., so back-to-back transfers delivered MORE
+// bytes per elapsed time than the configured capacity — breaking the
+// invariant the repair pacer and the cross-rack figures rely on.
+func TestBandwidthNeverExceedsConfiguredRate(t *testing.T) {
+	eng := NewEngine()
+	bw := NewBandwidth(eng, 3) // 3 B/s: per-byte time is a repeating fraction
+	var lastEnd Time
+	for i := 0; i < 100; i++ {
+		bw.Transfer(1, func(_, end Time) { lastEnd = end })
+	}
+	eng.Run()
+	if lastEnd == 0 {
+		t.Fatal("no transfer completed")
+	}
+	rate := float64(bw.Bytes()) / (float64(lastEnd) / float64(Second))
+	if rate > bw.BytesPerSec() {
+		t.Fatalf("delivered %.12f B/s over a %.0f B/s link", rate, bw.BytesPerSec())
+	}
+}
+
+// Regression (PR 7): a transfer small enough that bytes/rate rounded to
+// under a nanosecond used to occupy the link for 0ns — free bandwidth.
+// Any positive byte count must occupy at least one nanosecond.
+func TestBandwidthTinyTransferOccupiesLink(t *testing.T) {
+	eng := NewEngine()
+	bw := NewBandwidth(eng, 1e12) // 1 TB/s: one byte is a picosecond
+	if got := bw.TransferTime(1); got < 1 {
+		t.Fatalf("1 byte at 1TB/s occupies %dns, want >= 1", got)
+	}
+}
+
+// Property: for any rate and any sequence of transfer sizes, the bytes a
+// drained link reports delivered never exceed capacity x elapsed time.
+func TestBandwidthRateBoundProperty(t *testing.T) {
+	f := func(rateSeed uint16, sizes []uint16) bool {
+		eng := NewEngine()
+		rate := float64(rateSeed%997) + 0.5 // 0.5 .. 996.5 B/s
+		bw := NewBandwidth(eng, rate)
+		var lastEnd Time
+		any := false
+		for _, s := range sizes {
+			if s == 0 {
+				continue
+			}
+			any = true
+			bw.Transfer(int64(s), func(_, end Time) { lastEnd = end })
+		}
+		eng.Run()
+		if !any {
+			return true
+		}
+		return float64(bw.Bytes()) <= rate*float64(lastEnd)/float64(Second)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -5,10 +5,7 @@
 // fixed seed is fully reproducible across runs and platforms.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is virtual simulation time in nanoseconds.
 type Time = int64
@@ -24,50 +21,102 @@ const (
 // EventFunc is a callback executed at its scheduled virtual time.
 type EventFunc func(now Time)
 
-type event struct {
+// nilIdx is the nil value for node-pool indices.
+const nilIdx int32 = -1
+
+// node is one pooled scheduled event. Nodes live in the engine's pool and
+// are addressed by index, never by pointer, so neither queue
+// implementation boxes them into interfaces (the old container/heap core
+// paid two allocations per event for exactly that) and the backing array
+// can grow without invalidating references.
+type node struct {
 	at  Time
 	seq uint64
-	// label attributes the event to a handler class for ProcessedBy;
-	// "" counts as "other".
-	label string
-	fn    EventFunc
+	fn  EventFunc
+	// next links the node into a wheel slot's FIFO list while queued and
+	// into the pool's free list while free.
+	next int32
+	// label is the interned handler-label slot (0 = "other").
+	label int32
 }
 
-type eventHeap []event
+// nodePool recycles event nodes through an intrusive free list. put zeroes
+// the callback and label so a drained node retains neither its closure nor
+// its string — the retention leak the old eventHeap.Pop had — and the pool
+// needs no sync.Pool (the engine is single-threaded), so it stays
+// deterministic and race-clean.
+type nodePool struct {
+	nodes []node
+	free  int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (p *nodePool) get() int32 {
+	if p.free != nilIdx {
+		i := p.free
+		p.free = p.nodes[i].next
+		return i
 	}
-	return h[i].seq < h[j].seq
+	p.nodes = append(p.nodes, node{})
+	return int32(len(p.nodes) - 1)
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (p *nodePool) put(i int32) {
+	n := &p.nodes[i]
+	n.at, n.seq, n.fn, n.label = 0, 0, nil, 0
+	n.next = p.free
+	p.free = i
+}
+
+// live counts pooled nodes still holding a callback — zero once every
+// scheduled event has executed (leak accounting for tests).
+func (p *nodePool) live() int {
+	n := 0
+	for i := range p.nodes {
+		if p.nodes[i].fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// eventQueue is the pending-event ordering structure: pop yields node
+// indices in exact (time, insertion-seq) order. Two implementations exist:
+// the production hierarchical time wheel (wheelQueue) and the original
+// binary heap (heapQueue), kept as the reference scheduler for
+// differential tests.
+type eventQueue interface {
+	push(i int32)
+	pop() int32
+	// peekTime returns the earliest pending event's time; only valid when
+	// len() > 0. It may reorganize the queue internally but never changes
+	// the observable schedule.
+	peekTime() Time
+	len() int
 }
 
 // Engine is a single-threaded discrete-event scheduler.
 // The zero value is ready to use.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now  Time
+	seq  uint64
+	pool nodePool
+	q    eventQueue
+	// useHeap selects the reference binary-heap scheduler instead of the
+	// time wheel; set only by tests, before the first event is scheduled.
+	useHeap bool
 	// processed counts executed events, useful as a runaway guard in tests.
 	processed uint64
-	// byLabel breaks processed down per handler label (AtNamed), a
-	// profiling view of where the event budget goes.
-	byLabel map[string]uint64
-	stopped bool
+	// Handler labels (AtNamed) are interned to small slots at schedule
+	// time, so the per-Step accounting is a slice increment instead of a
+	// map operation. Slot 0 is "other", the bucket for unlabeled events.
+	labelIdx    map[string]int32
+	labelNames  []string
+	labelCounts []uint64
+	stopped     bool
 
 	// Observer tick: fn fires at every multiple of tickInterval that
 	// falls before the next event executes. It is NOT an event — it is
-	// invoked between events without touching the heap, the sequence
+	// invoked between events without touching the queue, the sequence
 	// counter, or the processed count, so enabling it cannot perturb
 	// the simulation. The callback must only observe (read state,
 	// record samples): scheduling events or drawing randomness from it
@@ -80,11 +129,52 @@ type Engine struct {
 // NewEngine returns an engine with time zero and no pending events.
 func NewEngine() *Engine { return &Engine{} }
 
+// newHeapEngine returns an engine running the reference binary-heap
+// scheduler, for differential tests against the time wheel.
+func newHeapEngine() *Engine { return &Engine{useHeap: true} }
+
+// ensure lazily wires the queue, pool, and label table so the zero value
+// stays usable.
+func (e *Engine) ensure() {
+	if e.q != nil {
+		return
+	}
+	e.pool.free = nilIdx
+	e.labelIdx = map[string]int32{"other": 0}
+	e.labelNames = []string{"other"}
+	e.labelCounts = []uint64{0}
+	if e.useHeap {
+		e.q = &heapQueue{pool: &e.pool}
+	} else {
+		e.q = newWheelQueue(&e.pool)
+	}
+}
+
+// labelSlot interns a handler label, returning its counter slot.
+func (e *Engine) labelSlot(label string) int32 {
+	if label == "" {
+		return 0
+	}
+	if s, ok := e.labelIdx[label]; ok {
+		return s
+	}
+	s := int32(len(e.labelNames))
+	e.labelIdx[label] = s
+	e.labelNames = append(e.labelNames, label)
+	e.labelCounts = append(e.labelCounts, 0)
+	return s
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int {
+	if e.q == nil {
+		return 0
+	}
+	return e.q.len()
+}
 
 // Processed reports the number of executed events so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -92,9 +182,11 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // ProcessedBy returns a copy of the per-handler event counts. Events
 // scheduled without a label (At/After) count under "other".
 func (e *Engine) ProcessedBy() map[string]uint64 {
-	out := make(map[string]uint64, len(e.byLabel))
-	for k, v := range e.byLabel {
-		out[k] = v
+	out := make(map[string]uint64, len(e.labelNames))
+	for i, name := range e.labelNames {
+		if c := e.labelCounts[i]; c > 0 {
+			out[name] = c
+		}
 	}
 	return out
 }
@@ -111,8 +203,12 @@ func (e *Engine) AtNamed(t Time, label string, fn EventFunc) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
+	e.ensure()
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, label: label, fn: fn})
+	i := e.pool.get()
+	n := &e.pool.nodes[i]
+	n.at, n.seq, n.fn, n.label = t, e.seq, fn, e.labelSlot(label)
+	e.q.push(i)
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -127,9 +223,13 @@ func (e *Engine) AfterNamed(d Time, label string, fn EventFunc) {
 }
 
 // SetTick installs (or, with interval <= 0 or nil fn, removes) the
-// observer tick: fn(boundary) fires at every multiple of interval from
-// now on, interleaved between events without being one. See the field
-// comment on Engine for the observer-only contract.
+// observer tick: fn(boundary) fires at every multiple of interval that
+// falls strictly after the install instant, interleaved between events
+// without being one. Boundaries are anchored to multiples of interval on
+// the virtual-time axis — NOT to the install time — so two observers
+// installed at different moments sample the same instants and a
+// time-series CSV's rows land on round timestamps. See the field comment
+// on Engine for the observer-only contract.
 func (e *Engine) SetTick(interval Time, fn func(at Time)) {
 	if interval <= 0 || fn == nil {
 		e.tickInterval, e.tickFn = 0, nil
@@ -137,17 +237,24 @@ func (e *Engine) SetTick(interval Time, fn func(at Time)) {
 	}
 	e.tickInterval = interval
 	e.tickFn = fn
-	e.nextTick = e.now + interval
+	e.nextTick = (e.now/interval + 1) * interval
 }
 
 // fireTicks runs the observer tick for every boundary <= upto. The
 // clock visibly advances to each boundary so the observer reads
 // time-dependent state (utilizations) consistently, then the caller
 // advances it past upto; boundaries are <= the next event's time, so
-// causality is preserved.
+// causality is preserved. The clock never moves backwards: boundaries
+// the clock has already passed are skipped, not replayed.
 func (e *Engine) fireTicks(upto Time) {
 	if e.tickFn == nil {
 		return
+	}
+	if e.nextTick < e.now {
+		// Defensive: a stale boundary behind the clock would rewind
+		// e.now (the PR 7 clock-regression bug). Skip forward to the
+		// first boundary at or after now instead.
+		e.nextTick = ((e.now + e.tickInterval - 1) / e.tickInterval) * e.tickInterval
 	}
 	for e.nextTick <= upto {
 		e.now = e.nextTick
@@ -162,22 +269,20 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single earliest pending event and returns true, or
 // returns false if no events remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.q == nil || e.q.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
-	e.fireTicks(ev.at)
-	e.now = ev.at
+	i := e.q.pop()
+	n := &e.pool.nodes[i]
+	at, label, fn := n.at, n.label, n.fn
+	// Recycle before running: the freed slot holds no reference to fn, and
+	// the callback may immediately schedule new events into this node.
+	e.pool.put(i)
+	e.fireTicks(at)
+	e.now = at
 	e.processed++
-	if e.byLabel == nil {
-		e.byLabel = make(map[string]uint64)
-	}
-	if ev.label == "" {
-		e.byLabel["other"]++
-	} else {
-		e.byLabel[ev.label]++
-	}
-	ev.fn(e.now)
+	e.labelCounts[label]++
+	fn(e.now)
 	return true
 }
 
@@ -190,14 +295,18 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline. Events scheduled beyond the deadline stay pending.
+// If Stop is called mid-run the clock stays at the last executed event:
+// forcing it to the deadline with events still pending below it would
+// make the next Step rewind the clock and replay stale tick boundaries.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for !e.stopped && len(e.events) > 0 && e.events[0].at <= deadline {
+	for !e.stopped && e.q != nil && e.q.len() > 0 && e.q.peekTime() <= deadline {
 		e.Step()
 	}
-	if !e.stopped {
-		e.fireTicks(deadline)
+	if e.stopped {
+		return
 	}
+	e.fireTicks(deadline)
 	if e.now < deadline {
 		e.now = deadline
 	}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// lcg is a tiny deterministic generator for benchmark offsets — cheaper
+// and more reproducible than math/rand in a timed loop.
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l)
+}
+
+var benchEngines = []struct {
+	name string
+	mk   func() *Engine
+}{
+	{"wheel", NewEngine},
+	{"heap", newHeapEngine},
+}
+
+var benchSizes = []int{10_000, 100_000, 1_000_000, 10_000_000}
+
+func sizeName(n int) string {
+	if n >= 1_000_000 {
+		return fmt.Sprintf("%dM", n/1_000_000)
+	}
+	return fmt.Sprintf("%dk", n/1_000)
+}
+
+// BenchmarkEngineSchedule measures steady-state schedule+fire churn with
+// a fixed population of pending events: each iteration pushes one event
+// at a pseudo-random future offset and pops the earliest. This is the
+// shape the rack simulation drives — the queue stays large while events
+// flow through it — and where the heap's O(log n) comparisons and
+// per-event boxing dominated.
+func BenchmarkEngineSchedule(b *testing.B) {
+	for _, eng := range benchEngines {
+		for _, size := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pending=%s", eng.name, sizeName(size)), func(b *testing.B) {
+				e := eng.mk()
+				fn := func(Time) {}
+				r := lcg(12345)
+				offset := func() Time { return Time(r.next()>>44) + 1 }
+				for i := 0; i < size; i++ {
+					e.After(offset(), fn)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.After(offset(), fn)
+					e.Step()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineFire measures pure drain throughput: schedule size
+// events up front, then run the queue dry. Reported per event.
+func BenchmarkEngineFire(b *testing.B) {
+	for _, eng := range benchEngines {
+		for _, size := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%s", eng.name, sizeName(size)), func(b *testing.B) {
+				fn := func(Time) {}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					e := eng.mk()
+					r := lcg(12345)
+					for j := 0; j < size; j++ {
+						e.After(Time(r.next()>>44)+1, fn)
+					}
+					b.StartTimer()
+					e.Run()
+				}
+				b.ReportMetric(float64(size), "events/op")
+			})
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs is the CI allocation gate: once the pool,
+// wheel, and label table are warm, scheduling and draining events must
+// allocate NOTHING in the engine (the caller's closures are its own
+// business; here one closure is reused). An alloc-count regression in
+// the hot path fails this deterministically, unlike a timing threshold.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	for _, eng := range benchEngines {
+		t.Run(eng.name, func(t *testing.T) {
+			e := eng.mk()
+			fn := func(Time) {}
+			for i := 0; i < 2000; i++ {
+				e.AfterNamed(Time(i%97), "grant", fn)
+			}
+			e.Run()
+			avg := testing.AllocsPerRun(50, func() {
+				for i := 0; i < 200; i++ {
+					e.AfterNamed(Time(i%97), "grant", fn)
+				}
+				e.Run()
+			})
+			if avg != 0 {
+				t.Errorf("steady-state schedule+drain allocates %.1f objects per 200 events, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestEngineSoak10Racks10MOps is the rack-scale soak from ISSUE 7: ten
+// rack-shaped event populations — each a serial Resource with a fan of
+// self-rescheduling operation chains — pushing ten million events
+// through one engine. It must complete in seconds (generous wall-clock
+// ceiling so slow CI hosts do not flake) with every event accounted for
+// per rack label.
+func TestEngineSoak10Racks10MOps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped with -short")
+	}
+	const (
+		racks         = 10
+		chainsPerRack = 100
+		totalOps      = 10_000_000
+	)
+	e := NewEngine()
+	resources := make([]*Resource, racks)
+	labels := make([]string, racks)
+	for i := range resources {
+		resources[i] = NewResource(e)
+		labels[i] = fmt.Sprintf("rack%d", i)
+	}
+	// Each chain runs an exact share of the budget so the whole soak is
+	// precisely totalOps events.
+	const opsPerChain = totalOps / (racks * chainsPerRack)
+	ops := 0
+	r := lcg(99)
+	chain := func(rack int) EventFunc {
+		left := opsPerChain
+		var fn EventFunc
+		fn = func(now Time) {
+			ops++
+			left--
+			if left == 0 {
+				return
+			}
+			// Occupy the rack's device briefly, then reschedule after a
+			// pseudo-random think time — the simulator's I/O heartbeat.
+			resources[rack].Block(now + Time(r.next()%64))
+			e.AfterNamed(Time(r.next()%4096)+1, labels[rack], fn)
+		}
+		return fn
+	}
+	for rack := 0; rack < racks; rack++ {
+		for c := 0; c < chainsPerRack; c++ {
+			e.AfterNamed(Time(r.next()%4096), labels[rack], chain(rack))
+		}
+	}
+	start := time.Now()
+	e.Run()
+	elapsed := time.Since(start)
+	if ops != totalOps {
+		t.Fatalf("ran %d ops, want %d", ops, totalOps)
+	}
+	if e.Processed() != totalOps {
+		t.Fatalf("engine processed %d events, want %d", e.Processed(), totalOps)
+	}
+	var byRack uint64
+	for _, c := range e.ProcessedBy() {
+		byRack += c
+	}
+	if byRack != totalOps {
+		t.Fatalf("per-rack counters sum to %d, want %d", byRack, totalOps)
+	}
+	if n := e.pool.live(); n != 0 {
+		t.Fatalf("%d pool nodes still hold closures after the soak", n)
+	}
+	const ceiling = 60 * time.Second
+	if elapsed > ceiling {
+		t.Fatalf("soak took %v, over the %v ceiling", elapsed, ceiling)
+	}
+	t.Logf("10 racks x 10M ops in %v (%.1fM events/sec)", elapsed,
+		float64(totalOps)/elapsed.Seconds()/1e6)
+}

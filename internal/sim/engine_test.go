@@ -218,6 +218,87 @@ func TestMonotonicClockProperty(t *testing.T) {
 	}
 }
 
+// Regression (PR 7): Stop() during RunUntil used to force the clock to
+// the deadline while skipping both pending events and tick boundaries;
+// the next Step then rewound e.now to the stale boundary. The clock must
+// stay at the last executed event when stopped, and every subsequently
+// observed timestamp — events and ticks — must be monotone.
+func TestStopDuringRunUntilKeepsClockMonotone(t *testing.T) {
+	e := NewEngine()
+	var stamps []Time
+	last := Time(-1)
+	observe := func(at Time) {
+		if at < last {
+			t.Fatalf("clock rewound: observed %d after %d (stamps %v)", at, last, stamps)
+		}
+		last = at
+		stamps = append(stamps, at)
+	}
+	e.SetTick(10, observe)
+	for _, at := range []Time{25, 50, 75, 100} {
+		at := at
+		e.At(at, func(now Time) {
+			observe(now)
+			if now == 50 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntil(100)
+	if e.Now() != 50 {
+		t.Fatalf("now = %d after Stop mid-RunUntil, want 50 (the stopping event)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d after Stop, want 2", e.Pending())
+	}
+	// Resume: the events at 75 and 100 and the boundaries in between all
+	// fire, in order, with no rewind.
+	e.Run()
+	want := []Time{10, 20, 25, 30, 40, 50, 50, 60, 70, 75, 80, 90, 100, 100}
+	if len(stamps) != len(want) {
+		t.Fatalf("stamps = %v, want %v", stamps, want)
+	}
+	for i := range want {
+		if stamps[i] != want[i] {
+			t.Fatalf("stamps = %v, want %v", stamps, want)
+		}
+	}
+}
+
+// Regression (PR 7): the old eventHeap.Pop left the popped event — its
+// closure and label — live in the truncated slice's backing array, so a
+// long run retained every callback it had ever executed. The pooled-node
+// rewrite zeroes drained slots; pool accounting verifies no closure
+// survives a drain, on both schedulers.
+func TestDrainedEventsReleaseClosures(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *Engine
+	}{{"wheel", NewEngine}, {"heap", newHeapEngine}} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := tc.mk()
+			// Several waves through the free list, with nested grants.
+			for wave := 0; wave < 5; wave++ {
+				for i := 0; i < 200; i++ {
+					payload := make([]byte, 1024)
+					e.AfterNamed(Time(i%17), "grant", func(now Time) {
+						e.After(1, func(Time) { payload[0]++ })
+					})
+				}
+				e.Run()
+			}
+			if n := e.pool.live(); n != 0 {
+				t.Errorf("%d drained pool nodes still hold closures", n)
+			}
+			// The pool recycles: five waves of ~400 live events must not
+			// have grown it anywhere near the 2000 scheduled.
+			if n := len(e.pool.nodes); n > 600 {
+				t.Errorf("pool grew to %d nodes for <= ~417 concurrent events", n)
+			}
+		})
+	}
+}
+
 func TestResourceSerializesWork(t *testing.T) {
 	e := NewEngine()
 	r := NewResource(e)

@@ -62,6 +62,39 @@ func TestObserverTickRunUntilCoversDeadline(t *testing.T) {
 	}
 }
 
+// Regression (PR 7): SetTick promised boundaries "at every multiple of
+// interval" but anchored them to the install time (nextTick = now +
+// interval). Boundaries must land on interval multiples of the virtual
+// time axis no matter when the observer is installed.
+func TestSetTickAnchorsToIntervalMultiples(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	e.At(5, func(Time) {
+		e.SetTick(10, func(at Time) { ticks = append(ticks, at) })
+	})
+	e.At(47, func(Time) {})
+	e.Run()
+	// Multiples of 10 after the install instant — not 15, 25, 35, 45.
+	if want := []Time{10, 20, 30, 40}; !reflect.DeepEqual(ticks, want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+}
+
+// Installing exactly on a boundary starts at the NEXT multiple: the
+// install instant itself has passed.
+func TestSetTickOnBoundaryStartsAtNextMultiple(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	e.At(20, func(Time) {
+		e.SetTick(10, func(at Time) { ticks = append(ticks, at) })
+	})
+	e.At(41, func(Time) {})
+	e.Run()
+	if want := []Time{30, 40}; !reflect.DeepEqual(ticks, want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+}
+
 func TestSetTickRemoval(t *testing.T) {
 	e := NewEngine()
 	fired := 0

@@ -1,0 +1,162 @@
+package sim
+
+import "math/bits"
+
+// wheelQueue is the production event queue: a hierarchical time wheel
+// (calendar queue) over pooled node indices. Push and pop are O(1)
+// amortized regardless of how many events are pending, where the binary
+// heap paid O(log n) pointer-chasing comparisons per operation — the
+// difference that matters at rack-scale event counts.
+//
+// Layout. Level l covers the virtual-time axis in slots of 64^l
+// nanoseconds, 64 slots per level; 11 levels of 6 bits cover the full
+// non-negative int64 range. An event lands at the lowest level whose slot
+// width still separates it from the wheel cursor: the level of the
+// highest 6-bit group in which its time differs from cur. Events in a
+// level-0 slot therefore all share one exact timestamp, and each slot
+// keeps a FIFO list, so draining slots in index order yields exact
+// (time, insertion-seq) order — the determinism contract the replay
+// tests pin.
+//
+// Advancing. cur trails the earliest pending event. When level 0 is
+// empty, the earliest occupied slot of the lowest occupied level is
+// cascaded: cur jumps to that slot's window start and the slot's list is
+// redistributed to lower levels (each node strictly descends, so
+// cascades terminate). Per-level occupancy bitmaps make "earliest
+// occupied slot" a single trailing-zeros scan, so advancing across a
+// large empty gap touches no empty slots.
+//
+// The spill heap. cur can legitimately end up ahead of the engine clock:
+// peeking across a gap cascades cur toward the next event, and a
+// RunUntil deadline can sit below that. An event then scheduled between
+// the clock and cur ("behind the cursor") cannot be placed in the wheel,
+// whose slot arithmetic is relative to cur. Such events go to a small
+// reference-heap spill queue instead. Every spill event is strictly
+// earlier than every wheel event (spill holds t < cur, the wheel t >=
+// cur, and cur is monotone), so the spill drains first and ordering
+// stays exact. Steady-state runs never touch it.
+type wheelQueue struct {
+	pool *nodePool
+	// cur is the wheel's time floor: every wheel-resident event has
+	// t >= cur. It advances to each popped event's time and to cascaded
+	// window starts, never past the earliest pending event.
+	cur Time
+	// n counts wheel-resident events (the spill queue keeps its own).
+	n     int
+	spill heapQueue
+	level [wheelLevels]wheelLevel
+}
+
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11 // ceil(64 / wheelBits): the full Time range
+)
+
+type wheelLevel struct {
+	// occ is the occupancy bitmap: bit s set iff slot s has events.
+	// head/tail of an empty slot are stale and must not be read.
+	occ  uint64
+	head [wheelSlots]int32
+	tail [wheelSlots]int32
+}
+
+func newWheelQueue(pool *nodePool) *wheelQueue {
+	return &wheelQueue{pool: pool, spill: heapQueue{pool: pool}}
+}
+
+func (w *wheelQueue) len() int { return w.n + w.spill.len() }
+
+func (w *wheelQueue) push(i int32) {
+	if w.pool.nodes[i].at < w.cur {
+		w.spill.push(i)
+		return
+	}
+	w.place(i)
+	w.n++
+}
+
+// place files a node into the level/slot addressed by its time relative
+// to cur. Requires nodes[i].at >= cur.
+func (w *wheelQueue) place(i int32) {
+	n := &w.pool.nodes[i]
+	n.next = nilIdx
+	t := n.at
+	l := 0
+	if x := uint64(t ^ w.cur); x != 0 {
+		l = (bits.Len64(x) - 1) / wheelBits
+	}
+	s := int(t>>(l*wheelBits)) & wheelMask
+	lv := &w.level[l]
+	if lv.occ&(1<<s) == 0 {
+		lv.occ |= 1 << s
+		lv.head[s] = i
+	} else {
+		w.pool.nodes[lv.tail[s]].next = i
+	}
+	lv.tail[s] = i
+}
+
+// cascade redistributes the earliest occupied slot of the lowest
+// occupied level >= 1 into lower levels, advancing cur to that slot's
+// window start. Callers guarantee w.n > 0 and level 0 is empty.
+func (w *wheelQueue) cascade() {
+	for l := 1; l < wheelLevels; l++ {
+		lv := &w.level[l]
+		if lv.occ == 0 {
+			continue
+		}
+		s := bits.TrailingZeros64(lv.occ)
+		i := lv.head[s]
+		lv.occ &^= 1 << s
+		shift := uint(l * wheelBits)
+		// Zero time groups 0..l-1 of cur and set group l to s: the start
+		// of the cascaded slot's window. Every event in the slot is >=
+		// this start, and lower levels are empty, so cur stays <= the
+		// earliest pending event.
+		w.cur = (w.cur &^ (Time(1)<<(shift+wheelBits) - 1)) | Time(s)<<shift
+		for i != nilIdx {
+			next := w.pool.nodes[i].next
+			w.place(i)
+			i = next
+		}
+		return
+	}
+	panic("sim: wheel occupancy lost events")
+}
+
+func (w *wheelQueue) peekTime() Time {
+	if w.spill.len() > 0 {
+		return w.spill.peekTime()
+	}
+	for {
+		if b := w.level[0].occ; b != 0 {
+			s := bits.TrailingZeros64(b)
+			return w.pool.nodes[w.level[0].head[s]].at
+		}
+		w.cascade()
+	}
+}
+
+func (w *wheelQueue) pop() int32 {
+	if w.spill.len() > 0 {
+		return w.spill.pop()
+	}
+	for {
+		lv := &w.level[0]
+		if b := lv.occ; b != 0 {
+			s := bits.TrailingZeros64(b)
+			i := lv.head[s]
+			if next := w.pool.nodes[i].next; next == nilIdx {
+				lv.occ &^= 1 << s
+			} else {
+				lv.head[s] = next
+			}
+			w.n--
+			w.cur = w.pool.nodes[i].at
+			return i
+		}
+		w.cascade()
+	}
+}

@@ -12,6 +12,8 @@
 //	rackbench -exp figrl -json auto
 //	rackbench -exp figsc -json auto
 //	rackbench -exp figslo -repair-slo 5ms
+//	rackbench -exp figra -json auto
+//	rackbench -redundancy lrc4,2
 //	rackbench -scenario "failrack:0@300ms,revive-server:2@600ms"
 //	rackbench -scenario "fail-server:0@120ms" -repair-slo 4ms
 //
@@ -19,7 +21,9 @@
 // looks); 1.0 reproduces the full-length runs recorded in EXPERIMENTS.md.
 //
 // -redundancy runs a single YCSB 50/50 summary with the chosen backend
-// ("replication" or "rsK,M", e.g. rs4,2) instead of a paper experiment.
+// ("replication", "rsK,M" like rs4,2, or "lrcK,M" like lrc4,2 — the
+// local-parity family, which runs on a three-rack spread cluster)
+// instead of a paper experiment.
 // -racks and -crossbw tune the cluster-shaped experiments (figmr, figrl,
 // figsc): the rack fault-domain count and the spine bandwidth in MB/s
 // that cross-rack repair and foreground traffic are metered on. figrl
@@ -40,7 +44,12 @@
 // auto-derived target, and -scenario runs gain a paced repair lane; the
 // figslo experiment compares pacing off vs on on the figsc repeated-
 // fault timeline and reports the repair-time vs foreground-latency
-// trade-off.
+// trade-off. figra compares code families at fixed durability on the
+// same scarce spine — RS(4,2) against LRC(4,2), which adds one local
+// parity chunk per rack: single-server losses repair inside the rack
+// with zero spine bytes, and multi-loss repair ships one aggregated
+// chunk per remote rack instead of k raw chunks, finishing sooner under
+// the same -repair-slo target.
 // -json FILE writes every produced table as machine-readable JSON
 // ("auto" derives a BENCH_<exp>.json name), so successive runs can be
 // diffed to track the performance trajectory. The report carries a
@@ -108,7 +117,7 @@ func main() {
 		exp         = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		scale       = flag.Float64("scale", 1.0, "measured-window scale in (0,1]")
 		list        = flag.Bool("list", false, "list experiment ids and exit")
-		redundancy  = flag.String("redundancy", "", "run one YCSB summary with this backend: 'replication' or 'rsK,M' (e.g. rs4,2)")
+		redundancy  = flag.String("redundancy", "", "run one YCSB summary with this backend: 'replication', 'rsK,M' (e.g. rs4,2), or 'lrcK,M' (e.g. lrc4,2)")
 		scenario    = flag.String("scenario", "", "run one lifecycle cluster under this fault/recovery timeline: comma-separated <kind>:<index>@<time> events (e.g. 'failrack:0@300ms,revive-server:2@600ms')")
 		jsonOut     = flag.String("json", "", "write results as JSON to this file ('auto' derives BENCH_<exp>.json)")
 		racks       = flag.Int("racks", 0, "rack fault-domain count for cluster experiments like figmr (0 = experiment default; figmr needs >= 3 for spread RS(4,2) and raises smaller values)")
@@ -273,11 +282,19 @@ func writeArtifact(path string, write func(w io.Writer) error) error {
 	return f.Close()
 }
 
-// parseRedundancy accepts "replication" or "rsK,M" (e.g. "rs4,2").
+// parseRedundancy accepts "replication", "rsK,M" (e.g. "rs4,2"), or
+// "lrcK,M" (e.g. "lrc4,2" — RS(k,m) globals plus one local parity chunk
+// per rack).
 func parseRedundancy(s string) (core.RedundancySpec, error) {
 	switch {
 	case s == "replication":
 		return core.Replication(), nil
+	case strings.HasPrefix(s, "lrc"):
+		var k, m int
+		if _, err := fmt.Sscanf(s[3:], "%d,%d", &k, &m); err != nil {
+			return core.RedundancySpec{}, fmt.Errorf("bad -redundancy %q: want lrcK,M like lrc4,2", s)
+		}
+		return core.LocalParityCode(k, m), nil
 	case strings.HasPrefix(s, "rs"):
 		var k, m int
 		if _, err := fmt.Sscanf(s[2:], "%d,%d", &k, &m); err != nil {
@@ -285,7 +302,7 @@ func parseRedundancy(s string) (core.RedundancySpec, error) {
 		}
 		return core.ErasureCode(k, m), nil
 	}
-	return core.RedundancySpec{}, fmt.Errorf("bad -redundancy %q: want 'replication' or 'rsK,M'", s)
+	return core.RedundancySpec{}, fmt.Errorf("bad -redundancy %q: want 'replication', 'rsK,M', or 'lrcK,M'", s)
 }
 
 func writeJSON(path string, report benchReport) error {

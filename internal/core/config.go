@@ -68,6 +68,15 @@ const (
 	// on distinct servers; reads of a failed or collecting chunk are
 	// reconstructed from any k survivors.
 	ErasureCoded
+	// LocalParityCoded is the repair-efficient LRC variant of
+	// ErasureCoded: the same RS(k,m) global code spread across racks,
+	// plus one local parity chunk per rack (the XOR of the rack's global
+	// chunks). A single-server loss repairs entirely inside its rack —
+	// zero spine bytes — and multi-loss repair aggregates: each remote
+	// rack combines its survivors locally and ships one chunk-sized
+	// aggregate over the metered spine instead of its raw chunks.
+	// Requires Racks > 1 and PlacementSpread.
+	LocalParityCoded
 )
 
 // RedundancySpec selects Replication (the existing Hermes pairs) or
@@ -86,15 +95,34 @@ func ErasureCode(k, m int) RedundancySpec {
 	return RedundancySpec{Scheme: ErasureCoded, K: k, M: m}
 }
 
+// LocalParityCode returns an LRC(k,m) redundancy spec: RS(k,m) global
+// chunks spread across racks plus one local parity chunk per rack.
+func LocalParityCode(k, m int) RedundancySpec {
+	return RedundancySpec{Scheme: LocalParityCoded, K: k, M: m}
+}
+
 func (s RedundancySpec) String() string {
-	if s.Scheme == ErasureCoded {
+	switch s.Scheme {
+	case ErasureCoded:
 		return fmt.Sprintf("RS(%d,%d)", s.K, s.M)
+	case LocalParityCoded:
+		return s.ec().LocalString()
 	}
 	return "2-replication"
 }
 
 // ec converts the spec into the ec package's parameterization.
 func (s RedundancySpec) ec() ec.Spec { return ec.Spec{K: s.K, M: s.M} }
+
+// erasure reports whether the spec stripes volumes over chunk holders
+// (either erasure-coding family) rather than replicating them.
+func (s RedundancySpec) erasure() bool {
+	return s.Scheme == ErasureCoded || s.Scheme == LocalParityCoded
+}
+
+// localParity reports the LRC family: per-rack local parity chunks and
+// aggregated cross-rack repair.
+func (s RedundancySpec) localParity() bool { return s.Scheme == LocalParityCoded }
 
 // WorkloadSpec selects the client workload per vSSD pair.
 type WorkloadSpec struct {
@@ -487,8 +515,12 @@ func (c *Config) Validate() error {
 			return errors.New("core: cross-rack latency must be non-negative")
 		}
 	}
-	if c.Redundancy.Scheme == ErasureCoded {
-		if err := c.Redundancy.ec().ValidateCluster(c.racks(), c.StorageServers, c.Placement); err != nil {
+	if c.Redundancy.erasure() {
+		if c.Redundancy.localParity() {
+			if err := c.Redundancy.ec().ValidateClusterLocal(c.racks(), c.StorageServers, c.Placement); err != nil {
+				return err
+			}
+		} else if err := c.Redundancy.ec().ValidateCluster(c.racks(), c.StorageServers, c.Placement); err != nil {
 			return err
 		}
 		if c.SoftwareIsolated {
@@ -551,14 +583,19 @@ func (c *Config) placer() ec.Placer {
 // neededChannelsPerServer computes channel demand per server. With P
 // replicated pairs round-robin over S servers each server hosts
 // ceil(2P/S) instances; erasure-coded groups place per the rack-aware
-// Placer, so demand is the maximum of its actual assignment.
+// Placer (plus one local parity instance per rack under the LRC
+// family), so demand is the maximum of its actual assignment.
 func (c *Config) neededChannelsPerServer() int {
-	if c.Redundancy.Scheme == ErasureCoded {
+	if c.Redundancy.erasure() {
 		placer := c.placer()
 		counts := make([]int, placer.TotalServers())
 		most := 0
 		for g := 0; g < c.VSSDPairs; g++ {
-			for _, s := range placer.Place(g) {
+			placed := placer.Place(g)
+			if c.Redundancy.localParity() {
+				placed = append(placed, placer.LocalParityServers(g, placed)...)
+			}
+			for _, s := range placed {
 				counts[s]++
 				if counts[s] > most {
 					most = counts[s]

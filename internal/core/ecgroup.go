@@ -28,11 +28,18 @@ const (
 // ecGroup is one erasure-coded volume: k data + m parity chunk holders
 // placed on distinct servers, with the client-side generator and the
 // background reconstructor that repairs lost chunks in GC idle windows.
+// Under the LRC family (Config.Redundancy LocalParityCoded) the member
+// list extends past the k+m global holders with one local parity holder
+// per occupied rack — the XOR of that rack's global chunks — enabling
+// zero-spine single-loss repair and per-rack aggregated multi-loss
+// repair.
 type ecGroup struct {
-	idx      int
-	spec     ec.Spec
-	striper  ec.Striper
-	insts    []*instance // k+m chunk holders, placement order
+	idx     int
+	spec    ec.Spec
+	striper ec.Striper
+	// insts holds the k+m global chunk holders in placement order,
+	// followed (LRC only) by the local parity holders in rack order.
+	insts    []*instance
 	gen      workload.Generator
 	inflight int
 
@@ -77,6 +84,31 @@ func (g *ecGroup) holderIndex(id uint32) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// memberIndex resolves a member instance to its group-local index.
+func (g *ecGroup) memberIndex(inst *instance) (int, bool) {
+	for i, m := range g.insts {
+		if m == inst {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// hasLocalParity reports the LRC family: members past the global k+m
+// are per-rack local parity holders.
+func (g *ecGroup) hasLocalParity() bool { return len(g.insts) > g.spec.Width() }
+
+// localParityOf returns the group's local parity holder for one rack
+// (nil outside the LRC family or for an unoccupied rack).
+func (g *ecGroup) localParityOf(rack int) *instance {
+	for _, m := range g.insts[g.spec.Width():] {
+		if m.server.rackIdx == rack {
+			return m
+		}
+	}
+	return nil
 }
 
 // memberTable derives the per-rack stripe-table rows — member ids and
@@ -133,12 +165,17 @@ func (r *Rack) buildGroups() error {
 			repairing:   make(map[int]bool),
 			adopterFor:  make(map[int]*instance),
 		}
-		width := spec.Width()
 		servers := placer.Place(gidx)
+		if cfg.Redundancy.localParity() {
+			// The LRC family appends one local parity holder per occupied
+			// rack after the k+m global members.
+			servers = append(servers, placer.LocalParityServers(gidx, servers)...)
+		}
+		total := len(servers)
 		for i, sIdx := range servers {
 			srv := r.servers[sIdx]
-			id := uint32(100 + gidx*width + i)
-			nextID := uint32(100 + gidx*width + (i+1)%width)
+			id := uint32(100 + gidx*total + i)
+			nextID := uint32(100 + gidx*total + (i+1)%total)
 			inst, err := r.newInstance(srv, id, nextID, gidx, i == 0, alloc)
 			if err != nil {
 				return err
@@ -200,23 +237,47 @@ func (g *ecGroup) sameRackNeighbor(i int) *instance {
 }
 
 // writeHolders returns the instances a logical write must update: the
-// data chunk's holder plus the stripe's m parity holders. Members are
-// returned as originally placed — the client's volume map never
-// changes; the ToR rewrites traffic for failed-over or re-integrated
-// members.
+// data chunk's holder plus the stripe's m parity holders — and, under
+// the LRC family, the local parity holder of every rack those updates
+// touch (the honest write amplification of local parity: an updated
+// chunk changes its rack's XOR). Members are returned as originally
+// placed — the client's volume map never changes; the ToR rewrites
+// traffic for failed-over or re-integrated members.
 func (g *ecGroup) writeHolders(stripe, pos int) []*instance {
 	out := []*instance{g.insts[g.striper.DataHolder(stripe, pos)]}
 	for _, h := range g.striper.ParityHolders(stripe) {
 		out = append(out, g.insts[h])
+	}
+	if g.hasLocalParity() {
+		seen := make(map[int]bool)
+		for _, m := range out {
+			seen[m.server.rackIdx] = true
+		}
+		for _, lp := range g.insts[g.spec.Width():] {
+			if seen[lp.server.rackIdx] {
+				out = append(out, lp)
+			}
+		}
 	}
 	return out
 }
 
 // adopter picks the surviving member that absorbs a dead holder's
 // traffic and rebuilt chunks: the next live, reachable member in group
-// order.
+// order. The LRC family prefers a member in the dead holder's own rack
+// — an in-rack adopter is what lets the local-XOR repair plan rebuild
+// the chunk without any spine traffic.
 func (g *ecGroup) adopter(holder int) *instance {
 	n := len(g.insts)
+	if g.hasLocalParity() {
+		rack := g.insts[holder].server.rackIdx
+		for i := 1; i < n; i++ {
+			m := g.insts[(holder+i)%n]
+			if m.server.reachable() && m.server.rackIdx == rack {
+				return m
+			}
+		}
+	}
 	for i := 1; i < n; i++ {
 		m := g.insts[(holder+i)%n]
 		if m.server.reachable() {
@@ -230,15 +291,22 @@ func (g *ecGroup) adopter(holder int) *instance {
 // rack-local-first: the coordinator's own chunk (free of network hops),
 // then idle survivors in the coordinator's rack, then idle survivors in
 // other racks — which cost spine latency and metered cross-rack
-// bandwidth — and collecting survivors last. Every member holds exactly
-// one chunk of every stripe, so any k of them suffice; the ordering
-// means the read spills onto the cross-rack link only when its own rack
-// cannot muster k healthy chunks. Holders with a rebuild outstanding
-// are never sources: a revived-but-catching-up member is blank.
+// bandwidth — and collecting survivors last. Every global member holds
+// exactly one chunk of every stripe, so any k of them suffice; the
+// ordering means the read spills onto the cross-rack link only when its
+// own rack cannot muster k healthy chunks. Holders with a rebuild
+// outstanding are never sources: a revived-but-catching-up member is
+// blank. Local parity holders never join an RS decode — their chunk is
+// a rack-local XOR, not a generator row — so only global members (and a
+// global coordinator) qualify.
 func (g *ecGroup) readSources(coord *instance, now sim.Time) []*instance {
-	out := []*instance{coord}
+	width := g.spec.Width()
+	out := make([]*instance, 0, width)
+	if ci, ok := g.memberIndex(coord); ok && ci < width {
+		out = append(out, coord)
+	}
 	var remote, busy []*instance
-	for i, m := range g.insts {
+	for i, m := range g.insts[:width] {
 		if m == coord || !m.server.reachable() || g.repairing[i] {
 			continue
 		}
@@ -253,6 +321,92 @@ func (g *ecGroup) readSources(coord *instance, now sim.Time) []*instance {
 	}
 	out = append(out, remote...)
 	return append(out, busy...)
+}
+
+// degradedSources picks the reconstruction plan for a degraded read at
+// coordinator coord: under the LRC family, when the home holder's rack
+// contains the coordinator and every other rack member (global chunks
+// plus the local parity) is healthy, the lost chunk is the XOR of
+// exactly those rack-local chunks — the zero-spine plan, needing no
+// cross-rack fetch at all. Otherwise it falls back to the global RS
+// decode from any k global survivors (readSources order). It returns
+// the sources, how many are needed, and whether the rack-local plan was
+// chosen.
+func (g *ecGroup) degradedSources(coord *instance, homeID uint32, now sim.Time) ([]*instance, int, bool) {
+	if g.hasLocalParity() {
+		if hIdx, ok := g.holderIndex(homeID); ok &&
+			g.insts[hIdx] != coord && g.insts[hIdx].server.rackIdx == coord.server.rackIdx {
+			rack := coord.server.rackIdx
+			local := []*instance{coord}
+			complete := true
+			for j, m := range g.insts {
+				if m.server.rackIdx != rack || m == coord || j == hIdx {
+					continue
+				}
+				if !m.server.reachable() || g.repairing[j] {
+					complete = false
+					break
+				}
+				local = append(local, m)
+			}
+			if complete {
+				return local, len(local), true
+			}
+		}
+	}
+	return g.readSources(coord, now), g.spec.K, false
+}
+
+// repairSources picks the survivor set for rebuilding one lost holder
+// onto adopter. Under the LRC family, when the adopter sits in the lost
+// holder's own rack and every other member of that rack (global chunks
+// plus the local parity) is healthy, the lost chunk is the XOR of
+// exactly those rack-local chunks — the zero-spine local plan; the
+// returned bool reports it. Otherwise the global plan applies: the
+// adopter's own chunk first (unless it is the blank rebuild target),
+// then rack-local global survivors, then remote ones, k in total —
+// local parity holders never feed an RS decode.
+func (g *ecGroup) repairSources(holder int, adopter *instance) ([]*instance, bool) {
+	if g.hasLocalParity() && adopter.server.rackIdx == g.insts[holder].server.rackIdx {
+		rack := adopter.server.rackIdx
+		var local []*instance
+		complete := true
+		for j, m := range g.insts {
+			if m.server.rackIdx != rack || j == holder {
+				continue
+			}
+			if !m.server.reachable() || g.repairing[j] {
+				complete = false
+				break
+			}
+			local = append(local, m)
+		}
+		if complete {
+			return local, true
+		}
+	}
+	width := g.spec.Width()
+	var sources []*instance
+	if ai, ok := g.memberIndex(adopter); ok && ai < width && adopter != g.insts[holder] {
+		sources = append(sources, adopter)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for j, m := range g.insts[:width] {
+			if len(sources) == g.spec.K {
+				break
+			}
+			if m == adopter || m == g.insts[holder] ||
+				!m.server.reachable() || g.repairing[j] {
+				continue
+			}
+			local := m.server.rackIdx == adopter.server.rackIdx
+			if (pass == 0) != local {
+				continue
+			}
+			sources = append(sources, m)
+		}
+	}
+	return sources, false
 }
 
 // issueEC sends one request from an erasure-coded volume's generator and
@@ -371,17 +525,37 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 		}
 	}
 
-	sources := g.readSources(inst, now)
-	k := g.spec.K
-	if len(sources) < k {
+	sources, needed, localPlan := g.degradedSources(inst, st.homeID, now)
+	if localPlan {
+		r.localDegradedReads++
+	} else if len(sources) < needed {
 		// More failures than parity: the stripe cannot be reconstructed
 		// right now. Serve the local chunk so the request terminates, and
 		// surface the loss in the counters (ec.ErrStripeUnrecoverable is
 		// the library-level twin of this path).
 		r.unrecoverableReads++
-		sources = sources[:1]
+		if len(sources) == 0 {
+			sources = []*instance{inst}
+		} else {
+			sources = sources[:1]
+		}
 	} else {
-		sources = sources[:k]
+		sources = sources[:needed]
+	}
+	// Under the LRC family a global fallback decode still ships
+	// aggregates: each remote rack folds its survivors into one partial
+	// sum locally, and only the rack's designated shipper pays the spine
+	// for one chunk.
+	var shipper map[int]*instance
+	if g.hasLocalParity() && !localPlan {
+		shipper = make(map[int]*instance)
+		for _, src := range sources {
+			if src.server.rackIdx != inst.server.rackIdx {
+				if _, ok := shipper[src.server.rackIdx]; !ok {
+					shipper[src.server.rackIdx] = src
+				}
+			}
+		}
 	}
 
 	var recSpan *trace.Span
@@ -389,6 +563,13 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 		recSpan = st.span.Child("reconstruct", now)
 		recSpan.Annotate(trace.Int("sources", int64(len(sources))),
 			trace.Int("stripe", int64(stripe)))
+		if g.hasLocalParity() {
+			plan := "aggregated"
+			if localPlan {
+				plan = "local_xor"
+			}
+			recSpan.Annotate(trace.String("plan", plan))
+		}
 	}
 	remaining := len(sources)
 	finish := func() {
@@ -418,6 +599,13 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 					return
 				}
 				if cross {
+					if shipper != nil && shipper[src.server.rackIdx] != src {
+						// This survivor only feeds its rack's partial sum:
+						// a rack-local hop to the shipper, no spine bytes.
+						back := r.net.PathLatency(r.eng.Now(), 2)
+						r.eng.After(back, func(sim.Time) { finish() })
+						return
+					}
 					// The chunk ships back over the metered spine link,
 					// then the remote-rack edge hops.
 					fs, fe := r.cluster.crossFetch(chunkBytes, func(sim.Time) {
@@ -494,30 +682,45 @@ func (r *Rack) repairPump(g *ecGroup) {
 	}
 	g.repairInFlight = true
 	if r.pacer == nil {
-		r.runRepairTask(g, task)
+		r.runRepairTask(g, task, 0)
 		return
+	}
+	// A zero-spine local-XOR plan (LRC, in-rack adopter, healthy rack)
+	// moves no cross-rack bytes, so it claims no spine tokens: it runs
+	// immediately instead of idling the rack behind the admission lane.
+	if adopter := g.adopterFor[task.Holder]; adopter != nil && adopter.server.reachable() {
+		if _, local := g.repairSources(task.Holder, adopter); local {
+			r.runRepairTask(g, task, 0)
+			return
+		}
 	}
 	// The token charge is the rebuilt chunk volume; the GC idle window
 	// was checked at claim time and the grant re-validates liveness in
 	// runRepairTask, like any task that waited in a queue.
-	r.pacer.admit(int64(task.Stripes)*int64(r.cfg.Geometry.PageSize), func() {
-		r.runRepairTask(g, task)
+	charge := int64(task.Stripes) * int64(r.cfg.Geometry.PageSize)
+	r.pacer.admit(charge, func() {
+		r.runRepairTask(g, task, charge)
 	})
 }
 
-// runRepairTask rebuilds one batch of a lost holder's chunks: k chunk
-// reads spread over the survivors — intra-rack survivors first, spilling
-// onto the metered cross-rack link only when the adopter's rack cannot
-// supply k — the RS decode, and the programs that land the rebuilt
-// chunks on the adopting holder. Channel time is charged in bulk per
-// batch; cross-rack sources additionally serialize their batch bytes
-// through the cluster spine.
-func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
+// runRepairTask rebuilds one batch of a lost holder's chunks: chunk
+// reads spread over the survivors — under RS, k of them, intra-rack
+// first, spilling onto the metered cross-rack link only when the
+// adopter's rack cannot supply k; under LRC, either the rack-local XOR
+// set (zero spine bytes) or an aggregated global plan where each remote
+// rack ships one combined batch instead of one per survivor — the
+// decode, and the programs that land the rebuilt chunks on the adopting
+// holder. Channel time is charged in bulk per batch; spine crossings
+// serialize their batch bytes through the cluster link. charged is the
+// admission charge the pacer already collected for this task (0 when
+// unpaced or admitted via the token-free local plan); settle reconciles
+// it against the actual spine bytes.
+func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask, charged int64) {
 	now := r.eng.Now()
-	// batchBytes is both the pacer's admission charge for this task and
-	// the per-source spine cost below; the settle calls reconcile the
-	// two once the actual cross-rack fan-out is known (or the task dies
-	// without moving anything).
+	// batchBytes is the spine cost of one batch crossing below; the
+	// settle calls reconcile the admission charge against the actual
+	// cross-rack fan-out once known (or the task dies without moving
+	// anything).
 	batchBytes := int64(task.Stripes) * int64(r.cfg.Geometry.PageSize)
 	// The adopter is pinned per holder: the first batch picks it and
 	// every later batch (and the final re-integration) targets the same
@@ -530,7 +733,7 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 	if adopter == nil || !adopter.server.reachable() {
 		g.repairInFlight = false
 		if r.pacer != nil {
-			r.pacer.settle(batchBytes, 0) // refund: nothing moved
+			r.pacer.settle(charged, 0) // refund: nothing moved
 		}
 		if next := g.adopter(task.Holder); next != nil {
 			r.enqueueHolderRepair(g, task.Holder, next)
@@ -539,36 +742,13 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 		// onto; the unrecoverable-read counter exposes the loss.
 		return
 	}
-	sources := []*instance{adopter}
-	if adopter == g.insts[task.Holder] {
-		// Catch-up repair onto the revived original: the target is blank,
-		// so all k chunks come from other survivors.
-		sources = sources[:0]
-	}
-	// Rack-local survivors first, then remote ones (local-first repair).
-	// Holders with their own rebuild outstanding are blank, never sources.
-	for pass := 0; pass < 2; pass++ {
-		for j, m := range g.insts {
-			if len(sources) == g.spec.K {
-				break
-			}
-			if m == adopter || m == g.insts[task.Holder] ||
-				!m.server.reachable() || g.repairing[j] {
-				continue
-			}
-			local := m.server.rackIdx == adopter.server.rackIdx
-			if (pass == 0) != local {
-				continue
-			}
-			sources = append(sources, m)
-		}
-	}
-	if len(sources) < g.spec.K {
+	sources, localPlan := g.repairSources(task.Holder, adopter)
+	if !localPlan && len(sources) < g.spec.K {
 		// Unrecoverable with the current survivors: drop the task; the
 		// unrecoverable-read counter already exposes the data loss.
 		g.repairInFlight = false
 		if r.pacer != nil {
-			r.pacer.settle(batchBytes, 0) // refund: nothing moved
+			r.pacer.settle(charged, 0) // refund: nothing moved
 		}
 		r.scheduleRepair(g)
 		return
@@ -585,25 +765,36 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask) {
 	var end sim.Time
 	var crossBytes int64
 	readDur := sim.Time(task.Stripes) * r.cfg.Device.ReadPage
+	aggRacks := make(map[int]bool)
 	for _, src := range sources {
 		chs := src.v.Channels()
 		_, e := src.server.dev.OccupyChannel(chs[task.FirstStripe%len(chs)], readDur)
 		if src.server.rackIdx != adopter.server.rackIdx {
 			// The batch crosses the spine: meter it on the shared link.
-			crossBytes += batchBytes
-			if _, te := r.cluster.crossFetch(batchBytes, nil); te+r.cluster.spineLatency > e {
-				e = te + r.cluster.spineLatency
+			// Under LRC the remote rack combines its survivors locally
+			// first and ships one aggregate per rack, not one per source.
+			if !g.hasLocalParity() || !aggRacks[src.server.rackIdx] {
+				aggRacks[src.server.rackIdx] = true
+				crossBytes += batchBytes
+				if _, te := r.cluster.crossFetch(batchBytes, nil); te+r.cluster.spineLatency > e {
+					e = te + r.cluster.spineLatency
+				}
 			}
 		}
 		if e > end {
 			end = e
 		}
 	}
+	if localPlan {
+		r.localRepairStripes += int64(task.Stripes)
+	} else if g.hasLocalParity() && len(aggRacks) > 0 {
+		r.aggRepairStripes += int64(task.Stripes)
+	}
 	if r.pacer != nil {
 		// Settle the admission charge against the real spine fan-out:
 		// extra remote sources become token debt, an all-local batch a
 		// refund.
-		r.pacer.settle(batchBytes, crossBytes)
+		r.pacer.settle(charged, crossBytes)
 	}
 	progDur := sim.Time(task.Stripes) * r.cfg.Device.ProgramPage
 	achs := adopter.v.Channels()

@@ -205,6 +205,14 @@ type Rack struct {
 	ecRetransmits      int64
 	lostReads          int64
 
+	// LRC code-family counters: stripes repaired entirely inside one
+	// rack (zero spine bytes), stripes repaired with per-rack aggregated
+	// cross-rack fetches, and degraded reads served by the rack-local
+	// XOR plan.
+	localRepairStripes int64
+	aggRepairStripes   int64
+	localDegradedReads int64
+
 	// recovery-lifecycle counters
 	reintegratedStripes     int64
 	degradedReadsPostRepair int64
@@ -257,7 +265,7 @@ func NewRack(cfg Config) (*Rack, error) {
 		r.controller = newController(r)
 	}
 
-	if cfg.Redundancy.Scheme == ErasureCoded {
+	if cfg.Redundancy.erasure() {
 		if err := r.buildGroups(); err != nil {
 			return nil, err
 		}

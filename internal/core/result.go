@@ -49,6 +49,16 @@ type Result struct {
 	RepairPending      int64
 	RepairDelayed      int64
 
+	// Local-parity (LRC) counters, all zero outside the LocalParityCoded
+	// family. LocalRepairStripes counts stripes rebuilt by the zero-spine
+	// rack-local XOR plan and AggregatedRepairStripes those rebuilt by
+	// the global plan with per-rack aggregation (one shipped batch per
+	// remote rack instead of one per survivor); LocalDegradedReads counts
+	// degraded reads served entirely inside the coordinator's rack.
+	LocalRepairStripes      int64
+	AggregatedRepairStripes int64
+	LocalDegradedReads      int64
+
 	// Multi-rack cluster counters. CrossRackRepairBytes is the chunk
 	// bytes repair traffic (degraded-read fetches plus background
 	// reconstruction) moved over the spine; its average rate is bounded
@@ -173,9 +183,14 @@ func (r *Rack) Run() *Result {
 		ECSubWrites:        r.ecSubWrites,
 		ECRetransmits:      r.ecRetransmits,
 		LostReads:          r.lostReads,
-		SimulatedTime:      r.eng.Now(),
-		Events:             r.eng.Processed(),
-		EventsByHandler:    r.eng.ProcessedBy(),
+
+		LocalRepairStripes:      r.localRepairStripes,
+		AggregatedRepairStripes: r.aggRepairStripes,
+		LocalDegradedReads:      r.localDegradedReads,
+
+		SimulatedTime:   r.eng.Now(),
+		Events:          r.eng.Processed(),
+		EventsByHandler: r.eng.ProcessedBy(),
 	}
 	if r.tracer != nil {
 		res.Trace = r.tracer.Collect()
@@ -202,12 +217,37 @@ func (r *Rack) Run() *Result {
 		res.RepairedStripes += int64(g.recon.RepairedStripes())
 		res.RepairPending += int64(g.recon.Pending())
 		res.RepairDelayed += int64(g.recon.DelayCount())
-		// A stripe with fewer than k surviving chunk holders is data
-		// loss: every member holds one chunk of every stripe.
+		// A stripe with fewer than k effectively-alive global chunks is
+		// data loss: every global member holds one chunk of every
+		// stripe. Under the LRC family a rack whose only casualty is a
+		// single global member still contributes that chunk — it is
+		// locally recoverable from the rack's survivors plus its local
+		// parity — so it counts as alive for durability.
+		width := g.spec.Width()
 		alive := 0
-		for _, m := range g.insts {
-			if !m.server.failed {
-				alive++
+		if g.hasLocalParity() {
+			deadByRack := make(map[int]int)
+			deadGlobalByRack := make(map[int]int)
+			for i, m := range g.insts {
+				if m.server.failed {
+					deadByRack[m.server.rackIdx]++
+					if i < width {
+						deadGlobalByRack[m.server.rackIdx]++
+					}
+				}
+			}
+			for _, m := range g.insts[:width] {
+				rack := m.server.rackIdx
+				if !m.server.failed ||
+					(deadByRack[rack] == 1 && deadGlobalByRack[rack] == 1) {
+					alive++
+				}
+			}
+		} else {
+			for _, m := range g.insts {
+				if !m.server.failed {
+					alive++
+				}
 			}
 		}
 		if alive < g.spec.K {

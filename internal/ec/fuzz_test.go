@@ -10,12 +10,21 @@ import (
 // FuzzECRoundTrip drives the RS codec with fuzzer-chosen data, spec, and
 // erasure patterns: any <= m erasures must reconstruct the stripe
 // byte-exactly, and any > m erasures must be reported as
-// ErrStripeUnrecoverable rather than silently mis-decoded.
+// ErrStripeUnrecoverable rather than silently mis-decoded. When the
+// spec admits a local-parity layout, the same stripe also round-trips
+// through the LRC repair paths: a single erasure repairs by rack-local
+// XOR, and every recoverable pattern rebuilds each lost chunk from the
+// XOR of per-rack aggregates (the one-chunk-per-remote-rack plan).
 func FuzzECRoundTrip(f *testing.F) {
 	f.Add(int64(1), []byte("rackblox stripes survive erasures"), uint8(4), uint8(2), uint8(2))
 	f.Add(int64(2), []byte{0x00, 0xFF, 0x11}, uint8(1), uint8(1), uint8(1))
 	f.Add(int64(3), []byte("beyond-m erasures must fail"), uint8(6), uint8(3), uint8(4))
 	f.Add(int64(4), []byte{}, uint8(2), uint8(4), uint8(6))
+	// Local-parity geometries: LRC(4,2) over 3 racks with single and
+	// multi erasures, and the mirroring degenerate LRC(1,1).
+	f.Add(int64(5), []byte("local parity repairs inside the rack"), uint8(3), uint8(1), uint8(1))
+	f.Add(int64(6), []byte("aggregated repair ships one chunk per rack"), uint8(3), uint8(1), uint8(2))
+	f.Add(int64(7), []byte("lrc(1,1)"), uint8(0), uint8(0), uint8(1))
 	f.Fuzz(func(t *testing.T, seed int64, data []byte, kRaw, mRaw, eRaw uint8) {
 		k := int(kRaw)%8 + 1
 		m := int(mRaw)%4 + 1
@@ -48,7 +57,8 @@ func FuzzECRoundTrip(f *testing.F) {
 		// Erase a seed-chosen subset of 0..k+m shards.
 		erasures := int(eRaw) % (k + m + 1)
 		rng := rand.New(rand.NewSource(seed))
-		for _, idx := range rng.Perm(k + m)[:erasures] {
+		lost := append([]int(nil), rng.Perm(k + m)[:erasures]...)
+		for _, idx := range lost {
 			shards[idx] = nil
 		}
 
@@ -73,5 +83,102 @@ func FuzzECRoundTrip(f *testing.F) {
 				t.Fatalf("RS(%d,%d) parity shard %d corrupted after reconstruction", k, m, i)
 			}
 		}
+
+		// Local-parity layout round-trip on the same stripe and erasure
+		// set, over the smallest rack count the LRC validator accepts.
+		full := append(append([][]byte{}, orig...), origParity...)
+		racks := (k + m + m - 1) / m
+		servers := (k+m+racks-1)/racks + 1
+		if spec.ValidateClusterLocal(racks, servers, PlaceSpread) != nil {
+			return
+		}
+		placer := Placer{Servers: servers, Racks: racks,
+			Width: k + m, Mode: PlaceSpread, MaxPerRack: m}
+		placed := placer.Place(int(eRaw))
+		isLost := make(map[int]bool, len(lost))
+		for _, idx := range lost {
+			isLost[idx] = true
+		}
+		rackMembers := make(map[int][]int) // rack -> stripe positions
+		for i, srv := range placed {
+			r := placer.RackOf(srv)
+			rackMembers[r] = append(rackMembers[r], i)
+		}
+		for _, idx := range lost {
+			rack := placer.RackOf(placed[idx])
+			soleLocalLoss := true
+			for _, i := range rackMembers[rack] {
+				if i != idx && isLost[i] {
+					soleLocalLoss = false
+				}
+			}
+			var rebuilt []byte
+			if soleLocalLoss {
+				// Zero-spine plan: XOR the rack's survivors with its
+				// local parity (itself the XOR of all the rack's chunks).
+				parts := make([][]byte, 0, len(rackMembers[rack])+1)
+				lp, err := XORParity(collect(full, rackMembers[rack]))
+				if err != nil {
+					t.Fatalf("LRC(%d,%d): local parity: %v", k, m, err)
+				}
+				parts = append(parts, lp)
+				for _, i := range rackMembers[rack] {
+					if i != idx {
+						parts = append(parts, full[i])
+					}
+				}
+				rebuilt, err = XORParity(parts)
+				if err != nil {
+					t.Fatalf("LRC(%d,%d): local repair: %v", k, m, err)
+				}
+			} else {
+				// Aggregated plan: one GF partial sum per involved rack,
+				// XOR-combined.
+				rows := make([]int, 0, k)
+				for i := 0; i < k+m && len(rows) < k; i++ {
+					if !isLost[i] {
+						rows = append(rows, i)
+					}
+				}
+				coeffs, err := codec.RepairCoefficients(idx, rows)
+				if err != nil {
+					t.Fatalf("LRC(%d,%d): coefficients for %d: %v", k, m, idx, err)
+				}
+				byRack := make(map[int][]int) // rack -> indices into rows
+				for i, r := range rows {
+					rk := placer.RackOf(placed[r])
+					byRack[rk] = append(byRack[rk], i)
+				}
+				rebuilt = make([]byte, shardLen)
+				for _, idxs := range byRack {
+					c := make([]byte, len(idxs))
+					sh := make([][]byte, len(idxs))
+					for j, i := range idxs {
+						c[j] = coeffs[i]
+						sh[j] = full[rows[i]]
+					}
+					agg, err := AggregateChunk(c, sh)
+					if err != nil {
+						t.Fatalf("LRC(%d,%d): aggregate: %v", k, m, err)
+					}
+					for b, v := range agg {
+						rebuilt[b] ^= v
+					}
+				}
+			}
+			if !bytes.Equal(rebuilt, full[idx]) {
+				t.Fatalf("LRC(%d,%d) racks=%d lost=%v: chunk %d repaired wrong (local=%v)",
+					k, m, racks, lost, idx, soleLocalLoss)
+			}
+		}
 	})
+}
+
+// collect gathers the chunks at the given stripe positions.
+func collect(shards [][]byte, idxs []int) [][]byte {
+	out := make([][]byte, len(idxs))
+	for j, i := range idxs {
+		out[j] = shards[i]
+	}
+	return out
 }

@@ -1,5 +1,7 @@
 package ec
 
+import "fmt"
+
 // Striper maps a volume's logical pages onto stripes of k data chunks and
 // assigns every chunk of a stripe to one of the k+m chunk holders. Parity
 // rotates with the stripe index (RAID-5 style) so no holder becomes a
@@ -105,10 +107,19 @@ func (p Placer) RackOf(server int) int { return server / p.Servers }
 // Place returns the global server index hosting each of a group's Width
 // chunk holders. All returned servers are distinct; under PlaceSpread no
 // rack receives more than MaxPerRack of them (validated by
-// Spec.ValidateCluster).
+// Spec.ValidateCluster). Compact placement requires Width <= Servers —
+// no in-rack rotation can fit more chunks than servers without a
+// collision — so Place panics on that geometry instead of silently
+// wrapping two chunks onto one server; Spec.ValidateCluster rejects it
+// with an error for config-path callers.
 func (p Placer) Place(group int) []int {
 	if p.Mode == PlaceSpread && p.racks() > 1 {
 		return p.placeSpread(group)
+	}
+	if p.Width > p.Servers {
+		panic(fmt.Sprintf(
+			"ec: compact placement of %d chunks over %d servers per rack would co-locate two chunks of one stripe; validate the geometry with Spec.ValidateCluster",
+			p.Width, p.Servers))
 	}
 	out := make([]int, p.Width)
 	if p.racks() == 1 {

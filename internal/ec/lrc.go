@@ -1,0 +1,166 @@
+package ec
+
+import "fmt"
+
+// This file adds the second code family: an LRC-style layout that keeps
+// the RS(k,m) global code intact and adds one local parity chunk per
+// rack — the plain XOR of the rack's global chunks — plus the
+// aggregated (rack-aware regenerating) repair plan for the multi-loss
+// cases the local parity cannot cover.
+//
+// The two mechanisms target the two repair regimes:
+//
+//   - Single-server loss: the lost chunk is the XOR of its rack's
+//     surviving chunks and the rack's local parity, so repair never
+//     touches the spine — zero cross-rack bytes.
+//   - Multi-loss (e.g. a whole rack): the lost chunk is a GF(2^8)
+//     linear combination of any k global survivors. Grouping the
+//     combination's terms by rack lets each remote rack pre-combine its
+//     survivors locally (AggregateChunk) and ship ONE chunk-sized
+//     aggregate over the metered spine; the XOR of the per-rack
+//     aggregates is the lost chunk. Cross-rack cost drops from k chunks
+//     to (#remote racks) chunks per lost chunk.
+
+// XORParity returns the byte-wise XOR of equal-length chunks — the
+// local parity of one rack's chunks, and equally the recovery of any
+// single missing chunk from the rack's survivors plus that parity.
+func XORParity(chunks [][]byte) ([]byte, error) {
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("ec: XORParity of zero chunks")
+	}
+	size := len(chunks[0])
+	out := make([]byte, size)
+	for i, c := range chunks {
+		if len(c) != size {
+			return nil, fmt.Errorf("ec: XORParity chunk %d length %d != %d", i, len(c), size)
+		}
+		for b, v := range c {
+			out[b] ^= v
+		}
+	}
+	return out, nil
+}
+
+// RepairCoefficients returns the GF(2^8) coefficients expressing the
+// lost chunk as a linear combination of exactly k surviving chunks:
+//
+//	chunk[lost] = sum_i gfMul(coeffs[i], chunk[rows[i]])
+//
+// rows indexes the k+m stripe positions (data first). The coefficients
+// are what aggregated repair distributes: each rack applies its
+// members' coefficients locally and ships only the partial sum.
+func (c *Codec) RepairCoefficients(lost int, rows []int) ([]byte, error) {
+	k := c.spec.K
+	if lost < 0 || lost >= c.spec.Width() {
+		return nil, fmt.Errorf("ec: lost position %d outside [0,%d)", lost, c.spec.Width())
+	}
+	if len(rows) != k {
+		return nil, fmt.Errorf("ec: repair needs exactly %d survivor rows, got %d", k, len(rows))
+	}
+	sub := make([][]byte, k)
+	for i, r := range rows {
+		if r < 0 || r >= c.spec.Width() {
+			return nil, fmt.Errorf("ec: survivor position %d outside [0,%d)", r, c.spec.Width())
+		}
+		if r == lost {
+			return nil, fmt.Errorf("ec: lost position %d listed as survivor", lost)
+		}
+		sub[i] = append([]byte(nil), c.gen[r]...)
+	}
+	inv, err := gfInvertMatrix(sub)
+	if err != nil {
+		return nil, err
+	}
+	// chunk[lost] = gen[lost] . data and data = inv . survivors, so the
+	// survivor coefficients are gen[lost] . inv.
+	coeffs := make([]byte, k)
+	for j := 0; j < k; j++ {
+		var v byte
+		for t := 0; t < k; t++ {
+			v ^= gfMul(c.gen[lost][t], inv[t][j])
+		}
+		coeffs[j] = v
+	}
+	return coeffs, nil
+}
+
+// AggregateChunk computes one rack's repair contribution: the GF(2^8)
+// partial sum of that rack's survivor chunks, each scaled by its
+// RepairCoefficients entry. XOR-ing every involved rack's aggregate
+// yields the lost chunk, so a remote rack ships exactly one chunk-sized
+// aggregate regardless of how many survivors it holds.
+func AggregateChunk(coeffs []byte, chunks [][]byte) ([]byte, error) {
+	if len(coeffs) != len(chunks) {
+		return nil, fmt.Errorf("ec: %d coefficients for %d chunks", len(coeffs), len(chunks))
+	}
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("ec: aggregate of zero chunks")
+	}
+	size := len(chunks[0])
+	out := make([]byte, size)
+	for i, c := range chunks {
+		if len(c) != size {
+			return nil, fmt.Errorf("ec: aggregate chunk %d length %d != %d", i, len(c), size)
+		}
+		coef := coeffs[i]
+		if coef == 0 {
+			continue
+		}
+		for b, v := range c {
+			out[b] ^= gfMul(coef, v)
+		}
+	}
+	return out, nil
+}
+
+// ValidateClusterLocal checks the local-parity (LRC) layout against a
+// multi-rack topology. The layout needs everything spread RS(k,m)
+// placement needs — so a whole-rack failure still erases at most m
+// global chunks and every stripe stays globally recoverable — plus one
+// extra server per rack to host that rack's local parity chunk on a
+// machine distinct from its global chunk holders.
+func (s Spec) ValidateClusterLocal(racks, serversPerRack int, mode PlacementMode) error {
+	if mode != PlaceSpread || racks < 2 {
+		return fmt.Errorf("ec: local-parity LRC(%d,%d) needs spread placement over >= 2 racks (got %s, %d racks)",
+			s.K, s.M, mode, racks)
+	}
+	if err := s.ValidateCluster(racks, serversPerRack, mode); err != nil {
+		return err
+	}
+	perRack := (s.Width() + racks - 1) / racks
+	if perRack+1 > serversPerRack {
+		return fmt.Errorf("ec: LRC(%d,%d) over %d racks needs %d servers per rack (%d global chunks + 1 local parity), have %d",
+			s.K, s.M, racks, perRack+1, perRack, serversPerRack)
+	}
+	return nil
+}
+
+// LocalString names the local-parity variant of the spec.
+func (s Spec) LocalString() string { return fmt.Sprintf("LRC(%d,%d)", s.K, s.M) }
+
+// LocalParityServers returns, for each rack occupied by the group's
+// spread placement (in rack order), the global server index hosting
+// that rack's local parity chunk. placed is Place(group)'s result; the
+// parity server continues the same in-rack rotation, so it is distinct
+// from every global chunk server of its rack (ValidateClusterLocal
+// guarantees a free server exists).
+func (p Placer) LocalParityServers(group int, placed []int) []int {
+	slot := make([]int, p.racks())
+	for _, srv := range placed {
+		slot[p.RackOf(srv)]++
+	}
+	rot := group % p.Servers
+	out := make([]int, 0, p.racks())
+	for rack, n := range slot {
+		if n == 0 {
+			continue
+		}
+		if n >= p.Servers {
+			panic(fmt.Sprintf(
+				"ec: rack %d has no free server for a local parity chunk (%d global chunks on %d servers); validate with Spec.ValidateClusterLocal",
+				rack, n, p.Servers))
+		}
+		out = append(out, rack*p.Servers+(rot+n)%p.Servers)
+	}
+	return out
+}

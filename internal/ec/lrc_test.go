@@ -1,0 +1,206 @@
+package ec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestXORParityLocalRepair checks the local-parity identity: the parity
+// of a rack's chunks recovers any single missing chunk from the rack's
+// survivors plus the parity — the zero-spine repair path.
+func TestXORParityLocalRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5} {
+		chunks := randShards(rng, n, 96)
+		parity, err := XORParity(chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lost := 0; lost < n; lost++ {
+			survivors := [][]byte{parity}
+			for i, c := range chunks {
+				if i != lost {
+					survivors = append(survivors, c)
+				}
+			}
+			got, err := XORParity(survivors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, chunks[lost]) {
+				t.Fatalf("n=%d lost=%d: local XOR repair differs from original", n, lost)
+			}
+		}
+	}
+	if _, err := XORParity(nil); err == nil {
+		t.Error("XORParity of zero chunks accepted")
+	}
+	if _, err := XORParity([][]byte{make([]byte, 4), make([]byte, 5)}); err == nil {
+		t.Error("ragged chunks accepted")
+	}
+}
+
+// TestAggregatedRepairByteIdentity checks the aggregated (rack-aware)
+// repair identity end to end: for every lost position and every set of
+// k survivors grouped by a spread placement's racks, the XOR of the
+// per-rack AggregateChunk partial sums equals the lost chunk — so each
+// remote rack really can ship one aggregate instead of its raw
+// survivors.
+func TestAggregatedRepairByteIdentity(t *testing.T) {
+	spec := Spec{K: 4, M: 2}
+	codec, err := NewCodec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	data := randShards(rng, spec.K, 128)
+	parity, err := codec.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := append(append([][]byte{}, data...), parity...)
+
+	placer := Placer{Servers: 3, Racks: 3, Width: spec.Width(),
+		Mode: PlaceSpread, MaxPerRack: spec.M}
+	placed := placer.Place(0)
+
+	for lost := 0; lost < spec.Width(); lost++ {
+		// Take the first k survivors in position order.
+		rows := make([]int, 0, spec.K)
+		for i := 0; i < spec.Width() && len(rows) < spec.K; i++ {
+			if i != lost {
+				rows = append(rows, i)
+			}
+		}
+		coeffs, err := codec.RepairCoefficients(lost, rows)
+		if err != nil {
+			t.Fatalf("lost %d: %v", lost, err)
+		}
+		// Group the survivor terms by the rack hosting each position and
+		// combine each rack's contribution locally.
+		byRack := make(map[int][]int) // rack -> indices into rows
+		for i, r := range rows {
+			byRack[placer.RackOf(placed[r])] = append(byRack[placer.RackOf(placed[r])], i)
+		}
+		rebuilt := make([]byte, 128)
+		racksInvolved := 0
+		for _, idx := range byRack {
+			racksInvolved++
+			c := make([]byte, len(idx))
+			sh := make([][]byte, len(idx))
+			for j, i := range idx {
+				c[j] = coeffs[i]
+				sh[j] = shards[rows[i]]
+			}
+			agg, err := AggregateChunk(c, sh)
+			if err != nil {
+				t.Fatalf("lost %d: %v", lost, err)
+			}
+			for b, v := range agg {
+				rebuilt[b] ^= v
+			}
+		}
+		if racksInvolved < 2 {
+			t.Fatalf("lost %d: survivors landed in %d rack — test geometry broken", lost, racksInvolved)
+		}
+		if !bytes.Equal(rebuilt, shards[lost]) {
+			t.Fatalf("lost %d: XOR of %d rack aggregates differs from the lost chunk",
+				lost, racksInvolved)
+		}
+	}
+
+	// Input validation.
+	if _, err := codec.RepairCoefficients(0, []int{0, 1, 2, 3}); err == nil {
+		t.Error("lost position listed as survivor accepted")
+	}
+	if _, err := codec.RepairCoefficients(0, []int{1, 2, 3}); err == nil {
+		t.Error("k-1 survivor rows accepted")
+	}
+	if _, err := codec.RepairCoefficients(6, []int{0, 1, 2, 3}); err == nil {
+		t.Error("out-of-range lost position accepted")
+	}
+	if _, err := AggregateChunk([]byte{1, 2}, [][]byte{make([]byte, 4)}); err == nil {
+		t.Error("coefficient/chunk count mismatch accepted")
+	}
+}
+
+// TestValidateClusterLocal pins the LRC layout validator's boundary:
+// spread multi-rack topologies with one spare server per rack pass;
+// compact mode, single racks, and racks too small for the global share
+// plus a local parity are rejected.
+func TestValidateClusterLocal(t *testing.T) {
+	spec := Spec{K: 4, M: 2}
+	if err := spec.ValidateClusterLocal(3, 6, PlaceSpread); err != nil {
+		t.Errorf("3x6 rejected: %v", err)
+	}
+	if err := spec.ValidateClusterLocal(3, 3, PlaceSpread); err != nil {
+		t.Errorf("3x3 rejected (2 global + 1 local parity fit): %v", err)
+	}
+	if err := spec.ValidateClusterLocal(3, 2, PlaceSpread); err == nil {
+		t.Error("3x2 accepted: no server left for the local parity")
+	}
+	if err := spec.ValidateClusterLocal(2, 8, PlaceSpread); err == nil {
+		t.Error("2 racks accepted: a rack would hold 3 > m global chunks")
+	}
+	if err := spec.ValidateClusterLocal(1, 12, PlaceSpread); err == nil {
+		t.Error("single rack accepted for a local-parity layout")
+	}
+	if err := spec.ValidateClusterLocal(3, 6, PlaceCompact); err == nil {
+		t.Error("compact placement accepted for a local-parity layout")
+	}
+	if got := spec.LocalString(); got != "LRC(4,2)" {
+		t.Errorf("LocalString = %q", got)
+	}
+}
+
+// TestLocalParityServersProperty asserts, over the validator's accepted
+// envelope, that every occupied rack gets exactly one local parity
+// server, in that rack, distinct from every global chunk server.
+func TestLocalParityServersProperty(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		for m := 1; m <= 4; m++ {
+			for racks := 2; racks <= 6; racks++ {
+				for servers := 2; servers <= 8; servers++ {
+					spec := Spec{K: k, M: m}
+					if spec.ValidateClusterLocal(racks, servers, PlaceSpread) != nil {
+						continue
+					}
+					placer := Placer{Servers: servers, Racks: racks,
+						Width: spec.Width(), Mode: PlaceSpread, MaxPerRack: m}
+					for group := 0; group < 2*racks*servers; group++ {
+						placed := placer.Place(group)
+						lp := placer.LocalParityServers(group, placed)
+						occupied := make(map[int]bool)
+						taken := make(map[int]bool)
+						for _, srv := range placed {
+							occupied[placer.RackOf(srv)] = true
+							taken[srv] = true
+						}
+						if len(lp) != len(occupied) {
+							t.Fatalf("LRC(%d,%d)/%dx%d group %d: %d parity servers for %d occupied racks",
+								k, m, racks, servers, group, len(lp), len(occupied))
+						}
+						seenRack := make(map[int]bool)
+						for _, srv := range lp {
+							rack := placer.RackOf(srv)
+							if !occupied[rack] {
+								t.Fatalf("LRC(%d,%d)/%dx%d group %d: parity in unoccupied rack %d",
+									k, m, racks, servers, group, rack)
+							}
+							if seenRack[rack] {
+								t.Fatalf("LRC(%d,%d)/%dx%d group %d: two parities in rack %d",
+									k, m, racks, servers, group, rack)
+							}
+							seenRack[rack] = true
+							if taken[srv] {
+								t.Fatalf("LRC(%d,%d)/%dx%d group %d: parity server %d already holds a global chunk",
+									k, m, racks, servers, group, srv)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

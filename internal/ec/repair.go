@@ -35,8 +35,12 @@ type Reconstructor struct {
 	gen map[int]int
 
 	// TraceHook, when non-nil, observes queue transitions ("enqueue",
-	// "done", "reset") for the flight recorder. Pure observer: it must
-	// not touch the queue.
+	// "done", "void", "reset") for the flight recorder. Every enqueued
+	// stripe reaches exactly one terminal transition — "done" when its
+	// repair counted, "void" when a Reset superseded it (whether it was
+	// still queued or already claimed) — so queue accounting balances:
+	// enqueued stripes == done stripes + void stripes. Pure observer: it
+	// must not touch the queue.
 	TraceHook func(op string, t RepairTask)
 }
 
@@ -117,14 +121,25 @@ func (r *Reconstructor) NextUpTo(limit int) (t RepairTask, ok bool) {
 // task's holder is now fully rebuilt — every stripe enqueued for it has
 // been repaired — so the caller can re-register the replacement holder.
 // A task from a generation superseded by Reset is void: its stripes
-// count toward neither progress nor completion.
+// count toward neither progress nor completion, and the trace hook sees
+// the terminal "void" transition that balances its "enqueue". Done is
+// idempotent: reporting a task again after its holder already completed
+// is a no-op, not a second holderComplete=true.
 func (r *Reconstructor) Done(t RepairTask) (holderComplete bool) {
 	if t.Gen != r.gen[t.Holder] {
+		r.notify("void", t)
+		return false
+	}
+	left, open := r.remaining[t.Holder]
+	if !open {
+		// Duplicate Done for an already-completed holder: its stripes
+		// were counted the first time, so a second report must not run
+		// remaining negative or re-trigger re-integration.
 		return false
 	}
 	r.notify("done", t)
 	r.repaired += t.Stripes
-	left := r.remaining[t.Holder] - t.Stripes
+	left -= t.Stripes
 	if left > 0 {
 		r.remaining[t.Holder] = left
 		return false
@@ -147,6 +162,10 @@ func (r *Reconstructor) Reset(holder int) {
 	for _, t := range r.pending {
 		if t.Holder != holder {
 			kept = append(kept, t)
+		} else {
+			// Still-queued work discarded by the reset terminates here;
+			// already-claimed work terminates when its stale Done lands.
+			r.notify("void", t)
 		}
 	}
 	r.pending = kept

@@ -28,11 +28,12 @@ func replayJSON(t *testing.T, id string) []byte {
 // shows up here as a diff. figrl covers the recovery-lifecycle paths —
 // chunk repair, switch re-integration, ToR revival with table replay —
 // figsc the scenario event driver with server revival and catch-up
-// repair, and figslo the SLO repair pacer, whose feedback loop (latency
-// window, AIMD ticks, token-lane wakeups) is the newest source of
-// ordering hazards.
+// repair, figslo the SLO repair pacer, whose feedback loop (latency
+// window, AIMD ticks, token-lane wakeups) is a rich source of ordering
+// hazards, and figra the LRC code family — local-parity placement,
+// rack-local XOR repair, and per-rack aggregated spine batches.
 func TestDeterministicReplay(t *testing.T) {
-	for _, id := range []string{"figec", "figmr", "figrl", "figsc", "figslo"} {
+	for _, id := range []string{"figec", "figmr", "figrl", "figsc", "figslo", "figra"} {
 		first := replayJSON(t, id)
 		second := replayJSON(t, id)
 		if string(first) != string(second) {

@@ -1075,6 +1075,12 @@ func RedundancySummary(spec core.RedundancySpec, scale Scale) (*Table, error) {
 	cfg := baseConfig(scale)
 	cfg.StorageServers = 6
 	cfg.Redundancy = spec
+	if spec.Scheme == core.LocalParityCoded {
+		// The LRC family needs rack fault domains and spread placement.
+		cfg.System = core.RackBlox
+		cfg.Racks = 3
+		cfg.Placement = core.PlacementSpread
+	}
 	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
@@ -1107,7 +1113,7 @@ func All() []string {
 		"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
 		"fig22", "fig23", "predictor", "gcablation", "figec", "figmr",
-		"figrl", "figsc", "figslo",
+		"figrl", "figsc", "figslo", "figra",
 	}
 }
 
@@ -1165,6 +1171,8 @@ func ByIDWith(id string, scale Scale, opt Options) ([]*Table, error) {
 		return []*Table{FigSC(scale, opt)}, nil
 	case "figslo":
 		return []*Table{FigSLO(scale, opt)}, nil
+	case "figra":
+		return []*Table{FigRA(scale, opt)}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }

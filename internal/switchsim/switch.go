@@ -247,7 +247,12 @@ func (s *Switch) RegisterStripe(group []uint32) {
 // RegisterStripeMembers records a stripe group whose members span racks:
 // racks[i] is member i's rack. Local members route by IP; remote members
 // are reachable only through an inter-switch handoff, since their GC and
-// failure state lives on their own ToR.
+// failure state lives on their own ToR. The member list need not stop at
+// the code's k+m global holders: local-parity layouts append one parity
+// holder per rack, and the table treats them as full members — eligible
+// degraded-read targets (a parity holder coordinates its rack's XOR
+// reconstruction), consulted by the GC staggering, and replaceable after
+// repair like any other holder.
 func (s *Switch) RegisterStripeMembers(group []uint32, racks []int) {
 	if len(group) != len(racks) {
 		panic("switchsim: stripe group and rack list lengths differ")

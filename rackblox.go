@@ -16,10 +16,11 @@
 //   - rack-scale wear leveling: a two-level balancer equalizes SSD wear
 //     inside each server and across the rack.
 //
-// Beyond the paper, the rack supports two redundancy backends selected
-// by Config.Redundancy: the paper's 2-way Hermes replication
-// (RedundancyReplication, the default) and rack-aware RS(k,m) erasure
-// coding (RedundancyEC). Under erasure coding every volume is striped
+// Beyond the paper, the rack supports three redundancy backends
+// selected by Config.Redundancy: the paper's 2-way Hermes replication
+// (RedundancyReplication, the default), rack-aware RS(k,m) erasure
+// coding (RedundancyEC), and its repair-efficient local-parity variant
+// (RedundancyLRC, below). Under erasure coding every volume is striped
 // over k data + m parity chunk holders on distinct servers; the ToR
 // switch steers reads for a collecting or failed chunk holder to a
 // survivor, which reconstructs from any k chunks (a degraded read), and
@@ -163,6 +164,41 @@
 // (with -repair-slo overriding the auto-derived target); see
 // examples/slo.
 //
+// # Repair-efficient rack-aware codes
+//
+// RS repair is spine-hungry: rebuilding one lost chunk fetches k chunks,
+// most from remote racks, so every lost byte costs about k bytes of
+// cross-rack traffic on the metered link. RedundancyLRC is the
+// repair-efficient second code family: the same RS(k,m) global code
+// spread across racks, plus one local parity chunk per rack — the XOR
+// of that rack's global chunks, placed on a server of its own
+// (Config.Racks > 1 and PlacementSpread required; ECSpec's
+// ValidateClusterLocal checks the geometry, including the extra server
+// per rack the parity needs). The family changes what failures cost:
+//
+//   - A single-server loss repairs entirely inside its rack: the lost
+//     chunk is the XOR of the rack's survivors plus its local parity,
+//     so the rebuild ships zero spine bytes and bypasses the repair
+//     pacer's token lane entirely (Result.LocalRepairStripes). Degraded
+//     reads steered to a rack-mate reconstruct the same way
+//     (Result.LocalDegradedReads).
+//   - Multi-loss repair falls back to the global code but aggregates:
+//     each remote rack combines its survivors into one GF(2^8) partial
+//     sum locally and ships a single chunk-sized aggregate per batch,
+//     so the spine carries one chunk per remote rack instead of k raw
+//     chunks (Result.AggregatedRepairStripes).
+//   - Durability is equal or better than the underlying RS(k,m): any m
+//     global losses stay recoverable, and additionally a rack whose
+//     only casualty is one global chunk repairs locally, which
+//     Result.UnrecoverableStripes credits.
+//
+// The honest cost is write amplification: updating a chunk also updates
+// the local parity of every rack the write touches, so a logical write
+// fans out to more sub-writes than RS's 1+m. The code-family comparison
+// at fixed durability on a scarce spine is Experiment("figra", ...),
+// also reachable as rackbench -exp figra (and -redundancy lrc4,2); see
+// examples/lrc.
+//
 // # Flight recorder
 //
 // The rack carries an always-available, observer-only flight recorder:
@@ -284,6 +320,13 @@ func RedundancyReplication() RedundancySpec { return core.Replication() }
 // RedundancyEC stripes every volume RS(k,m) over k+m servers: reads of a
 // failed or collecting chunk holder reconstruct from any k survivors.
 func RedundancyEC(k, m int) RedundancySpec { return core.ErasureCode(k, m) }
+
+// RedundancyLRC is the repair-efficient rack-aware family: RS(k,m)
+// global chunks spread across racks plus one local parity chunk per
+// rack, so a single-server loss repairs inside its rack with zero spine
+// bytes and multi-loss repair ships one aggregated chunk per remote
+// rack. Requires Config.Racks > 1 and PlacementSpread.
+func RedundancyLRC(k, m int) RedundancySpec { return core.LocalParityCode(k, m) }
 
 // PlacementMode selects how erasure-coded stripes map onto the cluster's
 // rack fault domains (Config.Placement) when Config.Racks > 1.

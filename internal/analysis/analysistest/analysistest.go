@@ -1,0 +1,223 @@
+// Package analysistest runs rackvet analyzers over golden fixture
+// packages, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// stdlib-only framework in internal/analysis.
+//
+// Fixtures live under the analyzer's testdata/src/<importpath>/
+// directory, one directory per fixture package, named with the import
+// path the analyzer's Applies predicate sees (so scope rules — including
+// the cmd/ and internal/walltime allowlists — are part of what the
+// golden suite exercises). Fixture packages may import each other (a
+// fake rackblox/internal/sim lives next to the packages under test) and
+// the standard library; std dependencies resolve through real compiler
+// export data, so fixture code type-checks exactly like production code.
+//
+// Expected findings are `// want "regexp"` comments on the line the
+// diagnostic lands on:
+//
+//	eng.After(d, fn) // want "unlabeled Engine.After"
+//
+// Run fails the test when a diagnostic has no matching want on its line,
+// or a want matched no diagnostic. A fixture package with no want
+// comments asserts the analyzer stays silent over it — that is how the
+// allowlist and directive escape-hatch fixtures are written.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rackblox/internal/analysis"
+)
+
+// Run checks one analyzer against the fixture packages at the given
+// import paths under testdata/src.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &loader{
+		root:  root,
+		fset:  token.NewFileSet(),
+		cache: map[string]*analysis.Package{},
+	}
+
+	var diags []entry
+	var wants []want
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		wants = append(wants, collectWants(t, l.fset, pkg.Files)...)
+		if a.Applies != nil && !a.Applies(path) {
+			continue // out-of-scope fixture: its wants (none) must hold
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			p := l.fset.Position(d.Pos)
+			diags = append(diags, entry{file: p.Filename, line: p.Line, msg: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: running over %s: %v", a.Name, path, err)
+		}
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.file && w.line == d.line && w.re.MatchString(d.msg) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", rel(d.file), d.line, d.msg)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matched want %q", rel(w.file), w.line, w.re)
+		}
+	}
+}
+
+type entry struct {
+	file string
+	line int
+	msg  string
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// rel trims the testdata prefix for readable failure output.
+func rel(file string) string {
+	if i := strings.Index(file, "testdata"+string(filepath.Separator)); i >= 0 {
+		return file[i:]
+	}
+	return file
+}
+
+// wantRE matches one `// want "..."` comment; the quoted part is a
+// Go-quoted regular expression.
+var wantRE = regexp.MustCompile(`// want ("(?:[^"\\]|\\.)*")`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var out []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want literal %s: %v", fset.Position(c.Pos()), m[1], err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), pat, err)
+				}
+				p := fset.Position(c.Pos())
+				out = append(out, want{file: p.Filename, line: p.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// loader type-checks fixture packages, resolving fixture-to-fixture
+// imports from testdata/src and everything else from real compiler
+// export data.
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	cache   map[string]*analysis.Package
+	std     types.Importer
+	exports map[string]string
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	pkg, err := analysis.TypeCheck(l.fset, path, files, (*fixtureImporter)(l))
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// fixtureImporter routes imports: testdata/src first, std export data
+// otherwise.
+type fixtureImporter loader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(fi)
+	if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	if l.std == nil {
+		// The importer reads l.exports through the shared map, so
+		// lazily merged entries below are visible to it.
+		l.exports = map[string]string{}
+		l.std = analysis.NewImporter(l.fset, l.exports)
+	}
+	if _, ok := l.exports[path]; !ok {
+		// -deps (inside ExportLookup) pulls the transitive closure, so
+		// the gc importer can resolve everything path's export data
+		// references.
+		m, err := analysis.ExportLookup(".", path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving export data for %q: %v", path, err)
+		}
+		for k, v := range m {
+			l.exports[k] = v
+		}
+	}
+	return l.std.Import(path)
+}

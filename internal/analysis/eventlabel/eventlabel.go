@@ -1,0 +1,102 @@
+// Package eventlabel implements the rackvet analyzer that makes
+// Result.EventsByHandler accounting provably complete.
+//
+// The engine's per-handler event counters (Engine.ProcessedBy, surfaced
+// as Result.EventsByHandler) bucket every event under its schedule-time
+// label; events scheduled through the unlabeled At/After variants all
+// collapse into the "other" bucket, silently eroding the tail-attribution
+// and per-handler breakdowns the observability layer promises. PR 7 had
+// to hunt down core's one unlabeled scenario driver by hand; this check
+// makes that audit mechanical: in simulation packages every event must be
+// scheduled through AtNamed/AfterNamed with a non-empty label.
+//
+// The sim package's own At/After forwarders (which delegate to the Named
+// variants with the empty label, defining the "other" bucket) are the
+// one structural exemption. A deliberate unlabeled schedule elsewhere
+// can carry a `//rackvet:unlabeled <why>` directive, which the golden
+// suite exercises; the real tree has none.
+package eventlabel
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"rackblox/internal/analysis"
+)
+
+// Analyzer requires labeled event scheduling in simulation packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventlabel",
+	Doc: "require Engine.AtNamed/AfterNamed (non-empty label) instead of At/After in " +
+		"simulation packages so EventsByHandler accounting stays complete",
+	Applies: applies,
+	Run:     run,
+}
+
+func applies(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "rackblox/internal/")
+}
+
+// engineForwarder reports whether decl is one of sim.Engine's own
+// At/After/AtNamed/AfterNamed methods — the definitions being enforced,
+// which must themselves be allowed to delegate.
+func engineForwarder(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Recv == nil || !analysis.PkgPathIs(pass.Pkg, "rackblox/internal/sim") {
+		return false
+	}
+	switch decl.Name.Name {
+	case "At", "After", "AtNamed", "AfterNamed":
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || engineForwarder(pass, decl) {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch m := analysis.EngineMethod(pass.TypesInfo, call); m {
+				case "At", "After":
+					if pass.Directive(call.Pos(), "unlabeled") {
+						return true
+					}
+					pass.Reportf(call.Pos(),
+						"unlabeled Engine.%s call: use %sNamed with a stable handler label so "+
+							"EventsByHandler accounting stays complete (//rackvet:unlabeled to opt out)",
+						m, m)
+				case "AtNamed", "AfterNamed":
+					if len(call.Args) < 2 {
+						return true
+					}
+					tv, ok := pass.TypesInfo.Types[call.Args[1]]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+						return true // dynamic label; assumed meaningful
+					}
+					if constant.StringVal(tv.Value) != "" {
+						return true
+					}
+					if pass.Directive(call.Pos(), "unlabeled") {
+						return true
+					}
+					pass.Reportf(call.Pos(),
+						"Engine.%s with empty label counts under \"other\": give the handler a "+
+							"stable label (//rackvet:unlabeled to opt out)", m)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

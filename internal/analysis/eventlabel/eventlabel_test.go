@@ -1,0 +1,21 @@
+package eventlabel_test
+
+import (
+	"testing"
+
+	"rackblox/internal/analysis/analysistest"
+	"rackblox/internal/analysis/eventlabel"
+)
+
+// TestEventlabel exercises unlabeled/empty-label findings, the dynamic
+// label allowance, the //rackvet:unlabeled escape hatch (both
+// placements), the _test.go and cmd/ allowlists, and — by running over
+// the fixture sim package itself — the exemption for the engine's own
+// At/After forwarder declarations.
+func TestEventlabel(t *testing.T) {
+	analysistest.Run(t, eventlabel.Analyzer,
+		"rackblox/internal/sim",
+		"rackblox/internal/demo",
+		"rackblox/cmd/demo",
+	)
+}

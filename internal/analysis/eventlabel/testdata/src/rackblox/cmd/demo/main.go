@@ -1,0 +1,11 @@
+// cmd/ is outside the analyzer's scope: driver code may schedule
+// unlabeled warmup events. No want comments.
+package main
+
+import "rackblox/internal/sim"
+
+func main() {
+	eng := &sim.Engine{}
+	eng.At(0, func(sim.Time) {})
+	eng.After(1, func(sim.Time) {})
+}

@@ -1,0 +1,34 @@
+// Package demo is an eventlabel fixture: unlabeled and empty-label
+// schedules are findings; labeled, dynamic-label, and directive-escaped
+// calls are not.
+package demo
+
+import "rackblox/internal/sim"
+
+func schedule(eng *sim.Engine) {
+	eng.At(5, func(sim.Time) {})             // want "unlabeled Engine.At call"
+	eng.After(5, func(sim.Time) {})          // want "unlabeled Engine.After call"
+	eng.AtNamed(5, "", func(sim.Time) {})    // want "empty label"
+	eng.AfterNamed(5, "", func(sim.Time) {}) // want "empty label"
+
+	eng.AtNamed(5, "demo.work", func(sim.Time) {})
+	eng.AfterNamed(5, "demo.work", func(sim.Time) {})
+	eng.SetTick(10, func(sim.Time) {})
+}
+
+// Dynamic labels are assumed meaningful: only compile-time-empty
+// constants are findings.
+func dynamic(eng *sim.Engine, label string) {
+	eng.AtNamed(5, label, func(sim.Time) {})
+	eng.AfterNamed(5, pick(), func(sim.Time) {})
+}
+
+func pick() string { return "demo.pick" }
+
+// The directive opts out deliberate unlabeled schedules, end-of-line or
+// own-line.
+func escaped(eng *sim.Engine) {
+	eng.After(5, func(sim.Time) {}) //rackvet:unlabeled prototype scaffolding, intentionally bucketed under other
+	//rackvet:unlabeled own-line placement works too
+	eng.At(5, func(sim.Time) {})
+}

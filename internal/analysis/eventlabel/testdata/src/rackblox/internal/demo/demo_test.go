@@ -1,0 +1,9 @@
+// Test files may schedule unlabeled events freely. No want comments.
+package demo
+
+import "rackblox/internal/sim"
+
+func kickoffForTest(eng *sim.Engine) {
+	eng.At(1, func(sim.Time) {})
+	eng.After(1, func(sim.Time) {})
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one source-loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -json -export -deps patterns...` in dir and
+// returns the decoded package stream. Export data for every dependency
+// comes out of the build cache, so imports resolve without recompiling
+// the world on each analysis run.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json", "-export", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths through compiler export data
+// files, the way the compiler itself would.
+type exportImporter struct {
+	gc       types.Importer
+	fallback map[string]string // import path -> export data file
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{fallback: exports}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ei.fallback[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.gc.Import(path)
+}
+
+// typeCheck parses and type-checks one package from source files.
+func typeCheck(fset *token.FileSet, pkgPath string, files []string, imp types.Importer) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: parsed, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// Load resolves patterns with the go tool from dir and type-checks every
+// matched (non-dependency-only) package from source. Dependencies come
+// from compiler export data, so each target is checked independently.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || p.ImportPath == "unsafe" {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, name := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, name)
+		}
+		pkg, err := typeCheck(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ExportLookup resolves patterns (std packages included) to compiler
+// export data files via `go list -export -deps`, for importers that must
+// type-check source against real dependencies without a full build —
+// the analysistest fixture loader.
+func ExportLookup(dir string, patterns ...string) (map[string]string, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewImporter returns an importer over compiler export data files keyed
+// by import path (see ExportLookup).
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return newExportImporter(fset, exports)
+}
+
+// TypeCheck parses and type-checks one package from source files with
+// dependencies resolved through imp.
+func TypeCheck(fset *token.FileSet, pkgPath string, files []string, imp types.Importer) (*Package, error) {
+	return typeCheck(fset, pkgPath, files, imp)
+}
+
+// RunAnalyzers executes every applicable analyzer over the loaded
+// packages, returning position-sorted diagnostics per package.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) (map[string][]Diagnostic, error) {
+	found := map[string][]Diagnostic{}
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.PkgPath) {
+				continue
+			}
+			name := a.Name
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Message += " [" + name + "]"
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		if len(diags) > 0 {
+			SortDiagnostics(pkg.Fset, diags)
+			found[pkg.PkgPath] = diags
+		}
+	}
+	return found, nil
+}

@@ -1,0 +1,160 @@
+// Package observerpure implements the rackvet analyzer enforcing the
+// flight recorder's observer-only contract.
+//
+// PR 6's guarantee — proven dynamically by the replay tests — is that
+// attaching the trace/stats observability layer changes no simulation
+// Result byte. That holds exactly as long as observer code is pure with
+// respect to simulation state: it may read engine time and counters, but
+// it must never schedule events, steer the engine, draw from simulation
+// RNG streams, or write fields of simulation objects. One Engine.After
+// inside a trace hook would silently turn the recorder into a
+// participant, and the bug would only surface as an unexplained replay
+// divergence far from its cause.
+//
+// This analyzer makes the contract static. Within internal/trace and
+// internal/stats it flags:
+//
+//   - calls to sim.Engine methods other than the read-only surface
+//     (Now, Pending, Processed, ProcessedBy);
+//   - any call into internal/core or internal/switchsim — observers
+//     consume values pushed to them, they never reach back into
+//     simulation components;
+//   - sim.RNG draws, which would shift stream positions every other
+//     component depends on;
+//   - assignments through fields declared in sim/core/switchsim types.
+//
+// Using simulation types as plain data (sim.Time fields in trace spans,
+// sim.Time arithmetic) is exactly what observers are for and is not
+// flagged. There is no directive escape hatch: an observer that needs to
+// mutate the simulation is not an observer, and the code should move.
+package observerpure
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rackblox/internal/analysis"
+)
+
+// Analyzer enforces observer purity in trace/stats packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "observerpure",
+	Doc: "forbid simulation-state writes, event scheduling, and sim RNG draws in " +
+		"internal/trace and internal/stats: observers must not perturb the run they watch",
+	Applies: applies,
+	Run:     run,
+}
+
+var observerPackages = map[string]bool{
+	"rackblox/internal/trace": true,
+	"rackblox/internal/stats": true,
+}
+
+func applies(pkgPath string) bool { return observerPackages[pkgPath] }
+
+// engineReadOnly is the Engine surface observers may use: pure queries
+// with no effect on event order or state.
+var engineReadOnly = map[string]bool{
+	"Now":         true,
+	"Pending":     true,
+	"Processed":   true,
+	"ProcessedBy": true,
+}
+
+// componentPackages are the simulation-component packages observers must
+// not call into at all.
+var componentPackages = []string{
+	"rackblox/internal/core",
+	"rackblox/internal/switchsim",
+}
+
+// statePackages own the struct fields observers must not write.
+var statePackages = []string{
+	"rackblox/internal/sim",
+	"rackblox/internal/core",
+	"rackblox/internal/switchsim",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.AssignStmt:
+				// Skip := definitions: only plain assignments (and the
+				// compound forms) can write through an existing field.
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if m := analysis.EngineMethod(pass.TypesInfo, call); m != "" && !engineReadOnly[m] {
+		pass.Reportf(call.Pos(),
+			"observer code calls Engine.%s: observers may only read engine state "+
+				"(Now/Pending/Processed/ProcessedBy); anything else perturbs the run being watched", m)
+		return
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	for _, p := range componentPackages {
+		if analysis.PkgPathIs(fn.Pkg(), p) {
+			pass.Reportf(call.Pos(),
+				"observer code calls %s.%s: observers consume pushed values, they must not "+
+					"reach back into simulation components", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+	if named := analysis.ReceiverNamed(fn); named != nil &&
+		named.Obj().Name() == "RNG" &&
+		analysis.PkgPathIs(named.Obj().Pkg(), "rackblox/internal/sim") {
+		pass.Reportf(call.Pos(),
+			"observer code draws from sim.RNG: observer draws shift stream positions and "+
+				"change the simulation being observed")
+	}
+}
+
+// checkWrite flags an assignment target that writes through a field
+// declared in a simulation-state package.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if sel := pass.TypesInfo.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+				if field, ok := sel.Obj().(*types.Var); ok && field.Pkg() != nil {
+					for _, p := range statePackages {
+						if analysis.PkgPathIs(field.Pkg(), p) {
+							pass.Reportf(e.Sel.Pos(),
+								"observer code writes %s.%s, a field of simulation state: "+
+									"observers must leave the run byte-identical",
+								field.Pkg().Name(), field.Name())
+							return
+						}
+					}
+				}
+			}
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package observerpure_test
+
+import (
+	"testing"
+
+	"rackblox/internal/analysis/analysistest"
+	"rackblox/internal/analysis/observerpure"
+)
+
+// TestObserverpure exercises the read-only Engine surface allowance,
+// own-state accumulation, the four impurity findings (engine calls,
+// component calls, state-field writes, RNG draws), and the _test.go
+// allowlist.
+func TestObserverpure(t *testing.T) {
+	analysistest.Run(t, observerpure.Analyzer,
+		"rackblox/internal/trace",
+		"rackblox/internal/stats",
+	)
+}

@@ -1,0 +1,12 @@
+// Package core is a stub simulation component for the observerpure
+// suite: state observers must never call into or write.
+package core
+
+// GCState is per-vSSD garbage-collection state.
+type GCState struct {
+	Open  bool
+	Count int
+}
+
+// Tick mutates simulation state.
+func Tick(s *GCState) { s.Count++ }

@@ -1,0 +1,15 @@
+// Package stats is an observerpure fixture: an observer mutating only
+// its own state. No want comments.
+package stats
+
+// Window accumulates samples.
+type Window struct {
+	N   int
+	Sum int64
+}
+
+// Add records one sample into the window's own state.
+func (w *Window) Add(v int64) {
+	w.N++
+	w.Sum += v
+}

@@ -1,0 +1,8 @@
+// Test files drive the engine on purpose. No want comments.
+package trace
+
+import "rackblox/internal/sim"
+
+func driveForTest(eng *sim.Engine) {
+	eng.AtNamed(1, "test.drive", func(sim.Time) {})
+}

@@ -1,0 +1,20 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"rackblox/internal/analysis/analysistest"
+	"rackblox/internal/analysis/simdeterminism"
+)
+
+// TestSimdeterminism exercises every sink kind (scheduling, exported
+// writes, observer calls, RNG draws), transitive reachability through
+// local helpers, the //rackvet:commutative escape hatch, slice-range
+// and commutative-body non-findings, global math/rand, goroutine
+// spawns, the _test.go allowlist, and the package-scope perimeter.
+func TestSimdeterminism(t *testing.T) {
+	analysistest.Run(t, simdeterminism.Analyzer,
+		"rackblox/internal/core",
+		"rackblox/internal/netsim",
+	)
+}

@@ -1,0 +1,17 @@
+// Test files may iterate maps, spawn goroutines, and use the global
+// stream freely. No want comments.
+package core
+
+import (
+	"math/rand"
+
+	"rackblox/internal/sim"
+)
+
+func helperForTests(eng *sim.Engine, m map[int]sim.Time) {
+	for _, d := range m {
+		eng.AfterNamed(d, "test.helper", func(sim.Time) {})
+	}
+	go func() {}()
+	_ = rand.Intn(2)
+}

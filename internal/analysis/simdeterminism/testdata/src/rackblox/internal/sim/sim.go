@@ -1,0 +1,43 @@
+// Package sim is a miniature of the real engine: just enough surface for
+// the analyzers' receiver-type matching. The At/After forwarders below
+// delegate with the empty label exactly like the real ones — the
+// structural exemption the eventlabel suite asserts.
+package sim
+
+// Time is virtual simulation time in nanoseconds.
+type Time int64
+
+// EventFunc is an event handler.
+type EventFunc func(now Time)
+
+// Engine is the fixture engine.
+type Engine struct {
+	now Time
+}
+
+func (e *Engine) Now() Time { return e.now }
+
+func (e *Engine) Pending() int { return 0 }
+
+func (e *Engine) Processed() uint64 { return 0 }
+
+func (e *Engine) ProcessedBy() map[string]uint64 { return nil }
+
+func (e *Engine) At(t Time, fn EventFunc) { e.AtNamed(t, "", fn) }
+
+func (e *Engine) AtNamed(t Time, label string, fn EventFunc) { _, _ = label, fn }
+
+func (e *Engine) After(d Time, fn EventFunc) { e.AfterNamed(d, "", fn) }
+
+func (e *Engine) AfterNamed(d Time, label string, fn EventFunc) { _, _ = label, fn }
+
+func (e *Engine) SetTick(interval Time, fn func(at Time)) { _ = fn }
+
+// RNG is the fixture per-component random stream.
+type RNG struct{ state uint64 }
+
+func NewRNG(seed int64) *RNG { return &RNG{state: uint64(seed)} }
+
+func (r *RNG) Intn(n int) int { return int(r.state) % n }
+
+func (r *RNG) Int63n(n int64) int64 { return int64(r.state) % n }

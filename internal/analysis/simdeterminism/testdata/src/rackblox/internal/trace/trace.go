@@ -1,0 +1,5 @@
+// Package trace is a stub observer sink for the simdeterminism suite.
+package trace
+
+// Record accepts one observed sample.
+func Record(v int64) { _ = v }

@@ -1,0 +1,89 @@
+// Package simtime implements the rackvet analyzer forbidding wall-clock
+// reads in simulation code.
+//
+// Everything under internal/ runs (or can run) inside the deterministic
+// discrete-event simulation, whose only clock is sim.Time — virtual
+// nanoseconds advanced by the engine. A time.Now or time.Sleep in that
+// code couples simulation behavior to the host machine: results stop
+// replaying bit-exactly, and CI timing noise becomes simulation noise.
+//
+// Allowlisted, with rationale:
+//
+//   - _test.go files: tests measure and bound real elapsed time (soak
+//     throughput, race timeouts) without feeding it back into the
+//     simulation.
+//   - cmd/... and examples/...: process entry points report wall-clock
+//     progress to humans; none of it re-enters simulation state.
+//   - internal/walltime: THE sanctioned wall-clock boundary. Code that
+//     legitimately needs host time (benchmark soak timing) takes it from
+//     that one audited package, so every wall-clock read in the tree is
+//     grep-able from a single choke point rather than silently exempted.
+//
+// Pure time utilities (time.Duration arithmetic, time.Unix conversions
+// for export formats) are not flagged: only the functions that read or
+// wait on the host clock are.
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rackblox/internal/analysis"
+)
+
+// wallClock lists the time package functions that read or wait on the
+// host clock. Types and constants (time.Duration, time.Millisecond) stay
+// usable for export formats.
+var wallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer flags wall-clock reads in simulation packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock time.Now/Since/Sleep/timers in simulation code; " +
+		"sim time is sim.Time only (internal/walltime is the audited boundary)",
+	Applies: applies,
+	Run:     run,
+}
+
+func applies(pkgPath string) bool {
+	rest, ok := strings.CutPrefix(pkgPath, "rackblox/internal/")
+	if !ok {
+		return false // cmd/, examples/, and everything outside the module
+	}
+	return rest != "walltime" && !strings.HasPrefix(rest, "walltime/")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClock[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"wall-clock time.%s in simulation code: sim logic runs on virtual sim.Time only; "+
+					"take host time from internal/walltime if this is sanctioned measurement code",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"rackblox/internal/analysis/analysistest"
+	"rackblox/internal/analysis/simtime"
+)
+
+// TestSimtime exercises the wall-clock findings plus all three
+// allowlists: _test.go files, the internal/walltime boundary package,
+// and cmd/ entry points.
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer,
+		"rackblox/internal/demo",
+		"rackblox/internal/walltime",
+		"rackblox/cmd/demo",
+	)
+}

@@ -1,0 +1,11 @@
+// Process entry points report wall-clock progress to humans; cmd/ is
+// outside the analyzer's scope. No want comments.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	_ = time.Since(start)
+}

@@ -1,0 +1,30 @@
+// Package demo is a simtime fixture: simulation-scoped code where every
+// host-clock read or wait is a finding, while pure time.Duration
+// arithmetic stays usable.
+package demo
+
+import "time"
+
+func bad(ch chan int) time.Duration {
+	start := time.Now()             // want "wall-clock time.Now"
+	time.Sleep(time.Millisecond)    // want "wall-clock time.Sleep"
+	t := time.NewTimer(time.Second) // want "wall-clock time.NewTimer"
+	k := time.NewTicker(time.Hour)  // want "wall-clock time.NewTicker"
+	select {
+	case <-time.After(time.Second): // want "wall-clock time.After"
+	case <-t.C:
+	case <-k.C:
+	case <-ch:
+	}
+	if time.Until(start) > 0 { // want "wall-clock time.Until"
+		return 0
+	}
+	return time.Since(start) // want "wall-clock time.Since"
+}
+
+// Duration arithmetic, constants, and conversions never touch the host
+// clock and are allowed.
+func ok(d time.Duration) time.Duration {
+	deadline := 2*d + 5*time.Millisecond
+	return deadline.Round(time.Microsecond)
+}

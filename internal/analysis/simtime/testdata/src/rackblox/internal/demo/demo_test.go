@@ -1,0 +1,11 @@
+// Test files may measure real elapsed time freely: the allowlist under
+// test. No want comments — the analyzer must stay silent here.
+package demo
+
+import "time"
+
+func soakElapsed() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

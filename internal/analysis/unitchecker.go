@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// UnitConfig mirrors cmd/go's internal vetConfig: the JSON description
+// of one package a `go vet -vettool=...` driver hands the tool. Field
+// names and meanings must track cmd/go/internal/work.vetConfig.
+type UnitConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the single package described by a cmd/go vet config
+// file, printing diagnostics to stderr in the usual file:line:col form.
+// It returns the process exit code: 0 clean, 1 for driver errors, 2 when
+// diagnostics were reported (the exit contract go vet expects).
+//
+// rackvet keeps no cross-package facts, so the "vetx" output the driver
+// caches is always an empty file; dependency packages outside the
+// analyzers' scope are dispatched without even being parsed, which keeps
+// `go vet -vettool=rackvet ./...` fast despite the driver visiting the
+// whole (std-including) dependency graph.
+func RunUnit(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rackvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver caches and re-feeds this file on future runs; absence
+	// would be treated as tool failure.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only dispatch for a dependency; we keep none
+	}
+	var applicable []*Analyzer
+	for _, a := range analyzers {
+		if a.Applies == nil || a.Applies(cfg.ImportPath) {
+			applicable = append(applicable, a)
+		}
+	}
+	if len(applicable) == 0 || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	base := newExportImporter(fset, cfg.PackageFile)
+	// Source import paths may differ from resolved package paths
+	// (vendoring); cfg.ImportMap carries the translation.
+	imp := &mappedImporter{m: cfg.ImportMap, next: base}
+	pkg, err := typeCheck(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "rackvet: %v\n", err)
+		return 1
+	}
+
+	var diags []Diagnostic
+	for _, a := range applicable {
+		name := a.Name
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Message += " [" + name + "]"
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "rackvet: %s: %v\n", a.Name, err)
+			return 1
+		}
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	SortDiagnostics(fset, diags)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", relPosition(fset, d.Pos, cfg.Dir), d.Message)
+	}
+	return 2
+}
+
+// mappedImporter rewrites source import paths to resolved package paths
+// before delegating.
+type mappedImporter struct {
+	m    map[string]string
+	next *exportImporter
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	return mi.next.Import(path)
+}
+
+// relPosition renders pos with the filename relativized to dir when
+// possible, matching go vet's own diagnostic style.
+func relPosition(fset *token.FileSet, pos token.Pos, dir string) string {
+	p := fset.Position(pos)
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
+	}
+	return p.String()
+}

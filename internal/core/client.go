@@ -16,11 +16,11 @@ import (
 func (r *Rack) startClients() {
 	for _, g := range r.groups {
 		g := g
-		r.eng.After(g.gen.NextGap(), func(sim.Time) { r.issueEC(g) })
+		r.eng.AfterNamed(g.gen.NextGap(), "client.issue_ec", func(sim.Time) { r.issueEC(g) })
 	}
 	for i, pr := range r.pairs {
 		pr := pr
-		r.eng.After(pr.gen.NextGap(), func(sim.Time) { r.issue(pr) })
+		r.eng.AfterNamed(pr.gen.NextGap(), "client.issue", func(sim.Time) { r.issue(pr) })
 		if r.cfg.SoftwareIsolated {
 			for j, inst := range []*instance{pr.primary, pr.replica} {
 				inst := inst
@@ -30,7 +30,7 @@ func (r *Rack) startClients() {
 					keys = 64
 				}
 				z := sim.NewZipf(rng, 0.99, keys)
-				r.eng.After(rng.Exp(r.cfg.Workload.MeanGap), func(sim.Time) {
+				r.eng.AfterNamed(rng.Exp(r.cfg.Workload.MeanGap), "client.peer_load", func(sim.Time) {
 					r.peerLoad(inst, z, rng)
 				})
 			}
@@ -43,7 +43,7 @@ func (r *Rack) startClients() {
 func (r *Rack) peerLoad(inst *instance, z *sim.Zipf, rng *sim.RNG) {
 	now := r.eng.Now()
 	if now < r.stopIssuing {
-		r.eng.After(rng.Exp(2*r.cfg.Workload.MeanGap), func(sim.Time) {
+		r.eng.AfterNamed(rng.Exp(2*r.cfg.Workload.MeanGap), "client.peer_load", func(sim.Time) {
 			r.peerLoad(inst, z, rng)
 		})
 	}
@@ -62,7 +62,7 @@ func (r *Rack) peerLoad(inst *instance, z *sim.Zipf, rng *sim.RNG) {
 func (r *Rack) issue(pr *pair) {
 	now := r.eng.Now()
 	if now < r.stopIssuing {
-		r.eng.After(pr.gen.NextGap(), func(sim.Time) { r.issue(pr) })
+		r.eng.AfterNamed(pr.gen.NextGap(), "client.issue", func(sim.Time) { r.issue(pr) })
 	}
 	if r.cfg.MaxClientInflight > 0 && pr.inflight >= r.cfg.MaxClientInflight {
 		return
@@ -144,7 +144,7 @@ func (r *Rack) clientSend(pkt packet.Packet, tor *switchsim.Switch) {
 		hop += r.cluster.meterForegroundTraced(r.cluster.frameBytes(pkt), r.spanFor(pkt.Seq))
 	}
 	pkt.AddLatency(hop)
-	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
+	r.eng.AfterNamed(hop, "net.client_send", func(sim.Time) { tor.Process(pkt) })
 }
 
 // forwarderFor builds the delivery path out of one rack's ToR: packets
@@ -173,7 +173,7 @@ func (r *Rack) deliverFromTor(torRack int, pkt packet.Packet) {
 		hop += r.cluster.meterForegroundTraced(r.cluster.frameBytes(pkt), r.spanFor(pkt.Seq))
 	}
 	pkt.AddLatency(hop)
-	r.eng.After(hop, func(sim.Time) {
+	r.eng.AfterNamed(hop, "net.deliver", func(sim.Time) {
 		if pkt.DstIP == r.clientIP {
 			r.clientReceive(pkt)
 			return
@@ -221,7 +221,7 @@ func (r *Rack) softwareRedirect(s *server, pkt packet.Packet) (packet.Packet, bo
 	// cost, plus the forwarding server's processing.
 	delay := serverProcTime + r.net.PathLatency(r.eng.Now(), 2)
 	fwd.AddLatency(delay)
-	r.eng.After(delay, func(sim.Time) { rep.server.receive(fwd) })
+	r.eng.AfterNamed(delay, "client.sw_redirect", func(sim.Time) { rep.server.receive(fwd) })
 	return fwd, true
 }
 
@@ -246,18 +246,18 @@ func (r *Rack) bounceRead(inst *instance, st *reqState) {
 			fwd.VSSD = rep.id
 			fwd.DstIP = rep.server.ip
 			delay := serverProcTime + r.net.PathLatency(r.eng.Now(), 2)
-			r.eng.After(delay, func(sim.Time) { rep.server.receive(fwd) })
+			r.eng.AfterNamed(delay, "client.sw_redirect", func(sim.Time) { rep.server.receive(fwd) })
 			r.swRedirects++
 			return
 		}
 		// No usable replica: serve in place after all.
-		r.eng.After(serverProcTime, func(sim.Time) { inst.server.receive(pkt) })
+		r.eng.AfterNamed(serverProcTime, "client.bounce", func(sim.Time) { inst.server.receive(pkt) })
 		return
 	}
 	hop := r.net.HopLatency(r.eng.Now())
 	pkt.AddLatency(hop)
 	tor := r.torOf(inst.server)
-	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
+	r.eng.AfterNamed(hop, "client.bounce", func(sim.Time) { tor.Process(pkt) })
 }
 
 // respond sends the completion back to the client through the switch.
@@ -274,7 +274,7 @@ func (r *Rack) respond(st *reqState, inst *instance) {
 	hop := r.net.HopLatency(r.eng.Now())
 	pkt.AddLatency(hop)
 	tor := r.torOf(inst.server)
-	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
+	r.eng.AfterNamed(hop, "net.respond", func(sim.Time) { tor.Process(pkt) })
 }
 
 // clientReceive records the completed request. Erasure-coded writes fan

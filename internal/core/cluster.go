@@ -196,7 +196,7 @@ func (c *Cluster) handoff(pkt packet.Packet, rack int) {
 	}
 	delay := c.spineLatency + c.meterForegroundTraced(c.frameBytes(pkt), sp)
 	pkt.AddLatency(delay)
-	c.rack.eng.After(delay, func(sim.Time) { c.tors[rack].Process(pkt) })
+	c.rack.eng.AfterNamed(delay, "net.handoff", func(sim.Time) { c.tors[rack].Process(pkt) })
 }
 
 // crossFetch ships one repair payload (bytes of chunk data) over the

@@ -414,7 +414,7 @@ func (g *ecGroup) repairSources(holder int, adopter *instance) ([]*instance, boo
 func (r *Rack) issueEC(g *ecGroup) {
 	now := r.eng.Now()
 	if now < r.stopIssuing {
-		r.eng.After(g.gen.NextGap(), func(sim.Time) { r.issueEC(g) })
+		r.eng.AfterNamed(g.gen.NextGap(), "client.issue_ec", func(sim.Time) { r.issueEC(g) })
 	}
 	if r.cfg.MaxClientInflight > 0 && g.inflight >= r.cfg.MaxClientInflight {
 		return
@@ -577,7 +577,7 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 		if remaining > 0 {
 			return
 		}
-		r.eng.After(ecDecodeTime, func(tnow sim.Time) {
+		r.eng.AfterNamed(ecDecodeTime, "ec.decode", func(tnow sim.Time) {
 			recSpan.EndAt(tnow)
 			s.completeRead(inst, req)
 		})
@@ -603,14 +603,14 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 						// This survivor only feeds its rack's partial sum:
 						// a rack-local hop to the shipper, no spine bytes.
 						back := r.net.PathLatency(r.eng.Now(), 2)
-						r.eng.After(back, func(sim.Time) { finish() })
+						r.eng.AfterNamed(back, "ec.chunk_back", func(sim.Time) { finish() })
 						return
 					}
 					// The chunk ships back over the metered spine link,
 					// then the remote-rack edge hops.
 					fs, fe := r.cluster.crossFetch(chunkBytes, func(sim.Time) {
 						back := r.cluster.spineLatency + r.net.PathLatency(r.eng.Now(), 2)
-						r.eng.After(back, func(sim.Time) { finish() })
+						r.eng.AfterNamed(back, "ec.chunk_back", func(sim.Time) { finish() })
 					})
 					if recSpan != nil {
 						if tnow := r.eng.Now(); fs > tnow {
@@ -621,7 +621,7 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 					return
 				}
 				back := r.net.PathLatency(r.eng.Now(), 2)
-				r.eng.After(back, func(sim.Time) { finish() })
+				r.eng.AfterNamed(back, "ec.chunk_back", func(sim.Time) { finish() })
 			})
 		}
 		if src == inst {
@@ -631,7 +631,7 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 			if cross {
 				out += r.cluster.spineLatency
 			}
-			r.eng.After(out, readChunk)
+			r.eng.AfterNamed(out, "ec.chunk_read", readChunk)
 		}
 	}
 }
@@ -642,7 +642,7 @@ func (r *Rack) scheduleRepair(g *ecGroup) {
 		return
 	}
 	g.repairArmed = true
-	r.eng.After(r.cfg.GCCheckInterval, func(sim.Time) { r.repairPump(g) })
+	r.eng.AfterNamed(r.cfg.GCCheckInterval, "ec.repair_pump", func(sim.Time) { r.repairPump(g) })
 }
 
 // repairPump admits background chunk reconstruction only in the
@@ -802,7 +802,7 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask, charged int64) {
 		end = e
 	}
 	end += sim.Time(task.Stripes)*ecDecodeTime + r.net.PathLatency(now, 2)
-	r.eng.At(end, func(now sim.Time) {
+	r.eng.AtNamed(end, "ec.repair_done", func(now sim.Time) {
 		sp.Annotate(trace.Int("cross_bytes", crossBytes))
 		sp.Finish(now)
 		r.lastRepairDone = now
@@ -852,7 +852,7 @@ func (r *Rack) reintegrate(g *ecGroup, holder int) {
 		if delay > last {
 			last = delay
 		}
-		r.eng.After(delay, func(sim.Time) {
+		r.eng.AfterNamed(delay, "ec.reintegrate", func(sim.Time) {
 			if tor.Down() || !fresh() {
 				return // a dark ToR misses the update; revival replays it
 			}
@@ -867,7 +867,7 @@ func (r *Rack) reintegrate(g *ecGroup, holder int) {
 	// The holder counts as re-integrated once the slowest ToR has the
 	// replacement installed; reads issued after this instant are served
 	// directly everywhere.
-	r.eng.After(last, func(sim.Time) {
+	r.eng.AfterNamed(last, "ec.reintegrate", func(sim.Time) {
 		if !fresh() {
 			return
 		}

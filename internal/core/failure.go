@@ -148,7 +148,7 @@ func (r *Rack) installFailoverOn(tors []*switchsim.Switch, deadInst, survivor *i
 	for _, tor := range tors {
 		tor := tor
 		delay := hop + r.cluster.crossLatency(deadInst.server.rackIdx, tor.RackID())
-		r.eng.After(delay, func(sim.Time) {
+		r.eng.AfterNamed(delay, "failover.install", func(sim.Time) {
 			if tor.Down() {
 				return
 			}
@@ -175,7 +175,7 @@ func (r *Rack) propagateMemberDead(g *ecGroup, deadInst *instance) {
 			continue
 		}
 		seen[tor] = true
-		r.eng.After(hop, func(sim.Time) { tor.MarkRemoteDead(deadID) })
+		r.eng.AfterNamed(hop, "failover.member_dead", func(sim.Time) { tor.MarkRemoteDead(deadID) })
 	}
 }
 
@@ -403,7 +403,7 @@ func (r *Rack) clearPairFailover(inst *instance) {
 	for j, tor := range r.cluster.tors {
 		tor := tor
 		delay := hop + r.cluster.crossLatency(inst.server.rackIdx, j)
-		r.eng.After(delay, func(sim.Time) {
+		r.eng.AfterNamed(delay, "failover.clear", func(sim.Time) {
 			if tor.Down() {
 				return
 			}
@@ -423,7 +423,7 @@ func (r *Rack) watchTimeout(seq uint64) {
 	if !r.anyFailure {
 		return // no failure in the timeline; avoid per-request timer overhead
 	}
-	r.eng.After(clientTimeout, func(sim.Time) {
+	r.eng.AfterNamed(clientTimeout, "client.timeout", func(sim.Time) {
 		st, ok := r.reqs[seq]
 		if !ok {
 			return // completed

@@ -14,7 +14,7 @@ func (r *Rack) startGCMonitors() {
 		inst := inst
 		// Stagger first checks so instances do not phase-lock.
 		offset := sim.Time(r.rng.Int63n(int64(r.cfg.GCCheckInterval) + 1))
-		r.eng.After(offset, func(sim.Time) { r.monitorGC(inst) })
+		r.eng.AfterNamed(offset, "gc.monitor", func(sim.Time) { r.monitorGC(inst) })
 	}
 }
 
@@ -25,7 +25,7 @@ func (r *Rack) monitorGC(inst *instance) {
 	}
 	now := r.eng.Now()
 	if now < r.stopIssuing {
-		r.eng.After(r.cfg.GCCheckInterval, func(sim.Time) { r.monitorGC(inst) })
+		r.eng.AfterNamed(r.cfg.GCCheckInterval, "gc.monitor", func(sim.Time) { r.monitorGC(inst) })
 	}
 	if inst.v.InGC(now) || inst.gcRequestInFlight {
 		return
@@ -114,8 +114,8 @@ func (r *Rack) sendGCOp(inst *instance, gcType packet.GCField, attempt int) {
 	}
 	hop := r.net.HopLatency(r.eng.Now())
 	tor := r.torOf(inst.server)
-	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
-	r.eng.After(hop+gcReplyTimeout, func(sim.Time) {
+	r.eng.AfterNamed(hop, "gc.op", func(sim.Time) { tor.Process(pkt) })
+	r.eng.AfterNamed(hop+gcReplyTimeout, "gc.op_timeout", func(sim.Time) {
 		if !inst.gcRequestInFlight || inst.gcRetries != epoch {
 			return // reply arrived
 		}
@@ -144,7 +144,7 @@ func (r *Rack) notifySwitchGC(inst *instance, gcType packet.GCField) {
 	}
 	hop := r.net.HopLatency(r.eng.Now())
 	tor := r.torOf(inst.server)
-	r.eng.After(hop, func(sim.Time) { tor.Process(pkt) })
+	r.eng.AfterNamed(hop, "gc.notify", func(sim.Time) { tor.Process(pkt) })
 }
 
 // handleGCReply processes the switch's accept/delay answer.
@@ -189,6 +189,7 @@ func (r *Rack) startGCBurst(inst *instance, target float64) {
 	}
 	inst.gcEvents++
 	var end sim.Time
+	//rackvet:commutative per-channel reservations are independent and end is a max
 	for ch, dur := range burst.PerChannel {
 		_, e := inst.server.dev.OccupyChannel(ch, dur)
 		if e > end {
@@ -200,7 +201,7 @@ func (r *Rack) startGCBurst(inst *instance, target float64) {
 		r.TraceGC(inst.id, inst.lastGCType, r.eng.Now(), end, burst.Blocks)
 	}
 	r.tracer.RecordGC(inst.id, inst.lastGCType.String(), r.eng.Now(), end, burst.Blocks)
-	r.eng.At(end, func(sim.Time) {
+	r.eng.AtNamed(end, "gc.burst_end", func(sim.Time) {
 		// A protected soft episode stays open — switch bit set, reads
 		// redirected — until the ratio is restored. Closing and
 		// immediately reopening would let reads slip into the gap and
@@ -295,7 +296,7 @@ func (c *controller) requestGC(inst *instance, gcType packet.GCField) {
 	r := c.rack
 	inst.gcRequestInFlight = true
 	trip := r.net.PathLatency(r.eng.Now(), 2) + controllerProc
-	r.eng.After(trip, func(sim.Time) {
+	r.eng.AfterNamed(trip, "gc.ctrl_request", func(sim.Time) {
 		replicaBusy := c.inGC[c.replicas[inst.id]]
 		grant := gcType != packet.GCSoft || !replicaBusy
 		if grant {
@@ -310,7 +311,7 @@ func (c *controller) requestGC(inst *instance, gcType packet.GCField) {
 			r.delayedByCtrl++
 		}
 		back := r.net.PathLatency(r.eng.Now(), 2)
-		r.eng.After(back, func(sim.Time) {
+		r.eng.AfterNamed(back, "gc.ctrl_reply", func(sim.Time) {
 			inst.gcRequestInFlight = false
 			inst.replicaIdleHint = !replicaBusy
 			if grant {
@@ -329,7 +330,7 @@ func (c *controller) requestGC(inst *instance, gcType packet.GCField) {
 func (c *controller) notify(inst *instance, started bool) {
 	r := c.rack
 	trip := r.net.PathLatency(r.eng.Now(), 2) + controllerProc
-	r.eng.After(trip, func(sim.Time) {
+	r.eng.AfterNamed(trip, "gc.ctrl_notify", func(sim.Time) {
 		c.inGC[inst.id] = started
 		if rep := r.insts[c.replicas[inst.id]]; rep != nil {
 			rep.replicaIdleHint = !started

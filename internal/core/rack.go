@@ -474,7 +474,7 @@ func (r *Rack) hermesTransport(pri, rep *instance) replication.Transport {
 			delay += r.cluster.meterForeground(
 				r.cluster.messageBytes(msg.Type == replication.MsgInv))
 		}
-		r.eng.After(delay, func(sim.Time) {
+		r.eng.AfterNamed(delay, "hermes.msg", func(sim.Time) {
 			if !dst.server.reachable() {
 				return // messages to a crashed or isolated server are lost
 			}

@@ -159,7 +159,7 @@ func (r *Rack) Run() *Result {
 	r.startGCMonitors()
 	r.scheduleFailure()
 	if r.pacer != nil {
-		r.eng.After(r.pacer.slo.Interval, func(sim.Time) { r.pacerTick() })
+		r.eng.AfterNamed(r.pacer.slo.Interval, "paced.tick", func(sim.Time) { r.pacerTick() })
 	}
 	r.eng.Run()
 

@@ -76,7 +76,7 @@ func (s *server) receive(pkt packet.Packet) {
 			req.Predict = inst.pred.Predict(req.Write)
 		}
 		inst.queue.Enqueue(req)
-		s.rack.eng.After(serverProcTime, func(sim.Time) { s.pump(inst) })
+		s.rack.eng.AfterNamed(serverProcTime, "server.pump", func(sim.Time) { s.pump(inst) })
 	case packet.OpGC:
 		// Reply from the ToR switch to an earlier gc_op.
 		s.rack.handleGCReply(inst, pkt)
@@ -197,13 +197,13 @@ func (s *server) startRead(inst *instance, req *sched.Request, attempt int) {
 	// Erasure-coded chunk holders (no Hermes node) always serve.
 	if inst.repl != nil && !inst.repl.CanRead(lpn) && attempt < 3 {
 		r.staleRetries++
-		r.eng.After(hermesRetryGap, func(sim.Time) { s.startRead(inst, req, attempt+1) })
+		r.eng.AfterNamed(hermesRetryGap, "server.stale_retry", func(sim.Time) { s.startRead(inst, req, attempt+1) })
 		return
 	}
 
 	if inst.cache.Contains(inst.id, lpn) {
 		r.cacheHits++
-		r.eng.After(cacheHitTime, func(sim.Time) { s.completeRead(inst, req) })
+		r.eng.AfterNamed(cacheHitTime, "server.cache_hit", func(sim.Time) { s.completeRead(inst, req) })
 		return
 	}
 	// Software-isolated vSSDs pass the token-bucket limiter first.
@@ -218,7 +218,7 @@ func (s *server) startRead(inst *instance, req *sched.Request, attempt int) {
 		s.dev.TimeRead(addr, func(_, _ sim.Time) { s.completeRead(inst, req) })
 	}
 	if admitAt > now {
-		r.eng.At(admitAt, issue)
+		r.eng.AtNamed(admitAt, "server.admit", issue)
 	} else {
 		issue(now)
 	}
@@ -272,7 +272,7 @@ func (s *server) startWrite(inst *instance, req *sched.Request) {
 	// request under a fresh sequence number, so a stale attempt's
 	// completion must not respond against the new one.
 	seq := req.Seq
-	r.eng.After(cacheInsertTime, func(sim.Time) {
+	r.eng.AfterNamed(cacheInsertTime, "server.cache_insert", func(sim.Time) {
 		if r.reqs[seq] != st {
 			s.flushPump(inst)
 			s.pump(inst)

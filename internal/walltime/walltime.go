@@ -1,0 +1,27 @@
+// Package walltime is the ONE sanctioned wall-clock boundary in the
+// simulation tree.
+//
+// Simulation logic runs exclusively on virtual sim.Time; the rackvet
+// simtime analyzer rejects direct time.Now/Since/Sleep/timer use
+// everywhere under internal/ except this package. Code that has a
+// legitimate claim on host time — measuring how fast the simulator
+// itself executes (soak throughput ceilings, benchmark reporting) —
+// imports walltime instead, so every wall-clock read in the tree is
+// auditable from this single choke point.
+//
+// The rule of use: a walltime measurement may be compared, logged, or
+// asserted on, but its value must never flow into simulation state,
+// event scheduling, or Results. If you are tempted to import this
+// package from an event handler, the design is wrong, not the rule.
+package walltime
+
+import "time"
+
+// Stamp is an opaque wall-clock reading, handed back to Elapsed.
+type Stamp struct{ t time.Time }
+
+// Start reads the host clock for a subsequent Elapsed measurement.
+func Start() Stamp { return Stamp{t: time.Now()} }
+
+// Elapsed returns the host time spent since s was taken.
+func Elapsed(s Stamp) time.Duration { return time.Since(s.t) }

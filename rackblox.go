@@ -240,6 +240,46 @@
 // instrumented or not. See examples/tracing, or rackbench's -trace,
 // -metrics, and -trace-sample flags.
 //
+// # Simulator invariants
+//
+// Every measurement above rests on four invariants that the cmd/rackvet
+// analysis suite (internal/analysis) machine-checks, so they hold by
+// construction rather than by review:
+//
+//   - simdeterminism: simulation packages (internal/sim, core, ec,
+//     switchsim, experiments) contain no order-sensitive map iteration —
+//     a map range whose body schedules events, writes exported result
+//     state, records trace/stats samples, or draws randomness must
+//     iterate sorted keys or carry a `//rackvet:commutative <rationale>`
+//     directive asserting the body commutes — and no global math/rand
+//     use or goroutine spawns. Same-seed runs replay byte-identically.
+//   - simtime: no wall-clock reads (time.Now/Since/Until/Sleep/timers)
+//     anywhere simulation logic runs; the only clock is virtual
+//     sim.Time. _test.go files, cmd/, and examples/ are exempt, and
+//     internal/walltime is the single audited boundary for host-time
+//     measurement (benchmark soak timing).
+//   - eventlabel: every event scheduled in internal packages goes
+//     through Engine.AtNamed/AfterNamed with a stable, non-empty label,
+//     so Result.EventsByHandler accounts for every processed event; a
+//     deliberate exception carries `//rackvet:unlabeled <rationale>`.
+//   - observerpure: internal/trace and internal/stats never schedule
+//     events, call into simulation components, draw from sim.RNG, or
+//     write simulation-state fields — the static side of the
+//     "instrumented runs are byte-identical" guarantee.
+//
+// Run the suite standalone (CI does both of these on every push):
+//
+//	go run ./cmd/rackvet ./...
+//
+// or as a go vet tool, which caches per-package results incrementally:
+//
+//	go build -o rackvet ./cmd/rackvet
+//	go vet -vettool=$(pwd)/rackvet ./...
+//
+// Each directive escape hatch is a reviewed assertion, not a
+// suppression: the rationale text after the directive name is required
+// by convention and audited in review.
+//
 // Quick start:
 //
 //	cfg := rackblox.DefaultConfig()

@@ -1,10 +1,12 @@
-// Command rackvet machine-checks the simulator's four core invariants:
+// Command rackvet machine-checks the simulator's five core invariants:
 //
-//	simdeterminism — no order-sensitive map iteration, global math/rand,
-//	                 or goroutines in simulation packages
-//	simtime        — no wall-clock reads where sim logic runs
-//	eventlabel     — every scheduled event carries a stable handler label
-//	observerpure   — trace/stats observers never perturb the run they watch
+//	simdeterminism      — no order-sensitive map iteration, global math/rand,
+//	                      or goroutines in simulation packages
+//	simtime             — no wall-clock reads where sim logic runs
+//	eventlabel          — every scheduled event carries a stable handler label
+//	observerpure        — trace/stats observers never perturb the run they watch
+//	goroutinediscipline — `go` statements only in the shard runner
+//	                      (internal/sim shardrun.go), nowhere else in internal/
 //
 // Two modes share the same analyzers:
 //
@@ -27,6 +29,7 @@ import (
 
 	"rackblox/internal/analysis"
 	"rackblox/internal/analysis/eventlabel"
+	"rackblox/internal/analysis/goroutinediscipline"
 	"rackblox/internal/analysis/observerpure"
 	"rackblox/internal/analysis/simdeterminism"
 	"rackblox/internal/analysis/simtime"
@@ -37,6 +40,7 @@ var analyzers = []*analysis.Analyzer{
 	simtime.Analyzer,
 	eventlabel.Analyzer,
 	observerpure.Analyzer,
+	goroutinediscipline.Analyzer,
 }
 
 func main() {

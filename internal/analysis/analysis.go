@@ -25,8 +25,10 @@
 //	//rackvet:commutative per-channel occupancy is independent; max commutes
 //	for ch, dur := range burst.PerChannel { ... }
 //
-// The rationale text is free-form but SHOULD be present: the directive
-// asserts a human checked an invariant the machine cannot.
+// The rationale text is free-form but REQUIRED: the directive asserts a
+// human checked an invariant the machine cannot, and the rationale is
+// where that proof lives. Analyzers that honor a directive call
+// Pass.CheckDirectiveRationales to report bare occurrences.
 package analysis
 
 import (
@@ -123,6 +125,57 @@ func (p *Pass) Directive(pos token.Pos, name string) bool {
 		}
 	}
 	return false
+}
+
+// CheckDirectiveRationales reports every `//rackvet:<name>` directive in
+// the pass's non-test files that carries no rationale after the
+// directive word. A directive is a human assertion that an invariant
+// holds where the machine cannot prove it; a bare directive is an
+// unjustified suppression. Files are walked in declaration order, so
+// reports are deterministic.
+func (p *Pass) CheckDirectiveRationales(name string) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//rackvet:")
+				if !ok {
+					continue
+				}
+				dn, rationale := rest, ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					dn, rationale = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				// An analysistest `// want` expectation is fixture
+				// metadata, not a rationale.
+				if i := strings.Index(rationale, "// want "); i >= 0 {
+					rationale = strings.TrimSpace(rationale[:i])
+				}
+				if dn != name || rationale != "" {
+					continue
+				}
+				p.Reportf(c.Pos(),
+					"bare //rackvet:%s directive: state the rationale that justifies the exemption",
+					name)
+			}
+		}
+	}
+}
+
+// InShardRunnerFile reports whether pos lies in the simulator's shard
+// runner — internal/sim's shardrun.go, the single file sanctioned to
+// spawn goroutines (the worker-per-shard pool behind ShardGroup.Run).
+func (p *Pass) InShardRunnerFile(pos token.Pos) bool {
+	if !PkgPathIs(p.Pkg, "rackblox/internal/sim") {
+		return false
+	}
+	name := p.Fset.Position(pos).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name == "shardrun.go"
 }
 
 // Callee resolves a call expression to the *types.Func it invokes

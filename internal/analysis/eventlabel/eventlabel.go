@@ -53,6 +53,7 @@ func engineForwarder(pass *analysis.Pass, decl *ast.FuncDecl) bool {
 }
 
 func run(pass *analysis.Pass) error {
+	pass.CheckDirectiveRationales("unlabeled")
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue

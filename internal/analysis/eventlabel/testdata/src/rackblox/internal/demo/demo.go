@@ -32,3 +32,10 @@ func escaped(eng *sim.Engine) {
 	//rackvet:unlabeled own-line placement works too
 	eng.At(5, func(sim.Time) {})
 }
+
+// A bare directive still suppresses the schedule finding, but is itself
+// a finding: the rationale is where the human's proof lives.
+func bareEscape(eng *sim.Engine) {
+	//rackvet:unlabeled // want "bare //rackvet:unlabeled directive"
+	eng.After(5, func(sim.Time) {})
+}

@@ -1,0 +1,19 @@
+package goroutinediscipline_test
+
+import (
+	"testing"
+
+	"rackblox/internal/analysis/analysistest"
+	"rackblox/internal/analysis/goroutinediscipline"
+)
+
+// TestGoroutineDiscipline exercises the one sanctioned concurrency site
+// (internal/sim's shardrun.go, no finding), `go` statements elsewhere in
+// internal/ (findings, including inside nested closures), and the
+// _test.go allowlist.
+func TestGoroutineDiscipline(t *testing.T) {
+	analysistest.Run(t, goroutinediscipline.Analyzer,
+		"rackblox/internal/sim",
+		"rackblox/internal/demo",
+	)
+}

@@ -1,0 +1,10 @@
+package demo
+
+import "testing"
+
+// Tests own their goroutines; the race detector watches them.
+func TestSpawnsFreely(t *testing.T) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

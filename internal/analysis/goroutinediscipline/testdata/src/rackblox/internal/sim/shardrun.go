@@ -1,0 +1,15 @@
+package sim
+
+// startWorkers mirrors the real shard runner: the one file where `go`
+// statements are allowed, because the window-barrier protocol makes the
+// concurrency unobservable.
+func startWorkers(windows []chan Time) {
+	for range windows {
+		ch := make(chan Time)
+		go func() {
+			for end := range ch {
+				RunUntil(end)
+			}
+		}()
+	}
+}

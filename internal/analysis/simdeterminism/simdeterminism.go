@@ -151,6 +151,7 @@ func run(pass *analysis.Pass) error {
 	}
 
 	// Pass 2: report.
+	pass.CheckDirectiveRationales("commutative")
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue
@@ -158,9 +159,15 @@ func run(pass *analysis.Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(),
-					"goroutine spawn in simulation code: the engine is single-threaded; "+
-						"goroutine interleaving breaks bit-exact replay")
+				// The shard runner is the sanctioned exception: its
+				// worker-per-shard pool is what lets ShardGroup.Run stay
+				// byte-identical to RunSequential (goroutinediscipline
+				// carries the same carve-out).
+				if !pass.InShardRunnerFile(n.Pos()) {
+					pass.Reportf(n.Pos(),
+						"goroutine spawn in simulation code: the engine is single-threaded; "+
+							"goroutine interleaving breaks bit-exact replay")
+				}
 			case *ast.CallExpr:
 				if fn := c.globalRand(n); fn != nil {
 					pass.Reportf(n.Pos(),

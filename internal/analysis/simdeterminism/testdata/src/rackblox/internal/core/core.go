@@ -111,3 +111,12 @@ func forksGenerator() *rand.Rand {
 func spawns(done chan struct{}) {
 	go func() { close(done) }() // want "goroutine spawn in simulation code"
 }
+
+// A bare directive still suppresses the range finding, but is itself a
+// finding: the rationale is where the human's proof lives.
+func bareAnnotated(res *Result, m map[int]int64) {
+	//rackvet:commutative // want "bare //rackvet:commutative directive"
+	for _, v := range m {
+		res.Total += v
+	}
+}

@@ -1,0 +1,14 @@
+package sim
+
+// The shard-runner carve-out: this file mirrors the real shardrun.go,
+// the one place in the tree where goroutines are sanctioned — the
+// window-barrier worker pool keeps them unobservable. No findings here.
+func startWorkers(windows []chan Time) {
+	for range windows {
+		ch := make(chan Time)
+		go func() {
+			for range ch {
+			}
+		}()
+	}
+}

@@ -139,9 +139,9 @@ func (r *Rack) spanFor(seq uint64) *trace.Span {
 // spine crossing — metered as foreground traffic on the shared link —
 // when the ToR is not in the client's rack (rack 0).
 func (r *Rack) clientSend(pkt packet.Packet, tor *switchsim.Switch) {
-	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.crossLatency(0, tor.RackID())
+	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.spine.Latency(0, tor.RackID())
 	if tor.RackID() != 0 {
-		hop += r.cluster.meterForegroundTraced(r.cluster.frameBytes(pkt), r.spanFor(pkt.Seq))
+		hop += r.cluster.spine.MeterForegroundTraced(r.cluster.spine.FrameBytes(pkt), r.spanFor(pkt.Seq))
 	}
 	pkt.AddLatency(hop)
 	r.eng.AfterNamed(hop, "net.client_send", func(sim.Time) { tor.Process(pkt) })
@@ -166,11 +166,11 @@ func (r *Rack) deliverFromTor(torRack int, pkt packet.Packet) {
 			break
 		}
 	}
-	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.crossLatency(torRack, dstRack)
+	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.spine.Latency(torRack, dstRack)
 	if torRack != dstRack {
 		// Leaving the rack: the packet pays for (and occupies) the
 		// shared spine alongside repair transfers.
-		hop += r.cluster.meterForegroundTraced(r.cluster.frameBytes(pkt), r.spanFor(pkt.Seq))
+		hop += r.cluster.spine.MeterForegroundTraced(r.cluster.spine.FrameBytes(pkt), r.spanFor(pkt.Seq))
 	}
 	pkt.AddLatency(hop)
 	r.eng.AfterNamed(hop, "net.deliver", func(sim.Time) {

@@ -21,8 +21,7 @@ type Cluster struct {
 	racks          int
 	serversPerRack int
 	tors           []*switchsim.Switch
-	spine          *sim.Bandwidth // nil with one rack
-	spineLatency   sim.Time
+	spine          *Spine // the explicit cross-rack boundary (see spine.go)
 
 	// ToR failure injection: torFailed flips at the configured instant,
 	// torDetected when the heartbeat detector notices and the surviving
@@ -32,43 +31,25 @@ type Cluster struct {
 	torDetected []bool
 	torCrashes  []int
 
-	// Cross-rack repair accounting: chunk bytes moved over the spine for
-	// degraded reads and background reconstruction. The delivered
-	// counter advances only when a transfer's last byte clears the link;
-	// the offered counter keeps the enqueue-time meaning, so a run that
-	// ends mid-transfer reports delivered < offered instead of claiming
-	// bytes the spine never finished moving.
-	crossRepairBytes   int64
-	crossRepairOffered int64
-	crossFetches       int64
-	// Foreground accounting: client/stripe packet bytes metered on the
-	// same spine (handoffs, cross-rack requests, responses, replication
-	// messages), kept separate from repair bytes so the two traffic
-	// classes can be compared while contending for one link. Delivered/
-	// offered split as for repair bytes.
-	foregroundBytes   int64
-	foregroundOffered int64
-	torRevivals       int64
-	serverRevivals    int64
+	torRevivals    int64
+	serverRevivals int64
 }
 
 // newCluster wires the topology for r: per-rack ToR switches sharing the
-// rack's forwarding fabric, and the spine link when racks > 1.
+// rack's forwarding fabric, and the spine boundary (with its metered
+// link when racks > 1).
 func newCluster(r *Rack) *Cluster {
 	cfg := r.cfg
 	c := &Cluster{
 		rack:           r,
 		racks:          cfg.racks(),
 		serversPerRack: cfg.StorageServers,
-		spineLatency:   cfg.CrossRackLatency,
+		spine:          newSpine(r.eng, &cfg),
 	}
 	c.tors = make([]*switchsim.Switch, c.racks)
 	c.torFailed = make([]bool, c.racks)
 	c.torDetected = make([]bool, c.racks)
 	c.torCrashes = make([]int, c.racks)
-	if c.racks > 1 {
-		c.spine = sim.NewBandwidth(r.eng, cfg.CrossRackMBps*1e6)
-	}
 	for j := 0; j < c.racks; j++ {
 		j := j
 		tor := switchsim.New(r.eng, switchsim.QdiscByName(cfg.defaultQdisc()), r.forwarderFor(j))
@@ -93,21 +74,25 @@ func (c *Cluster) Tor(rack int) *switchsim.Switch { return c.tors[rack] }
 // TorDown reports whether a rack's ToR has failed (isolating the rack).
 func (c *Cluster) TorDown(rack int) bool { return c.torFailed[rack] }
 
+// Spine returns the cluster's cross-rack boundary: latency, metering,
+// and byte accounting for everything that leaves a rack.
+func (c *Cluster) Spine() *Spine { return c.spine }
+
 // CrossRepairBytes returns the chunk bytes repair traffic has fully
 // moved over the spine so far (transfers still in flight excluded).
-func (c *Cluster) CrossRepairBytes() int64 { return c.crossRepairBytes }
+func (c *Cluster) CrossRepairBytes() int64 { return c.spine.CrossRepairBytes() }
 
 // CrossRepairBytesOffered returns the repair bytes handed to the spine,
 // counted at enqueue — the old meaning of CrossRepairBytes.
-func (c *Cluster) CrossRepairBytesOffered() int64 { return c.crossRepairOffered }
+func (c *Cluster) CrossRepairBytesOffered() int64 { return c.spine.CrossRepairBytesOffered() }
 
 // ForegroundBytes returns the foreground (non-repair) bytes the spine
 // has fully delivered so far.
-func (c *Cluster) ForegroundBytes() int64 { return c.foregroundBytes }
+func (c *Cluster) ForegroundBytes() int64 { return c.spine.ForegroundBytes() }
 
 // ForegroundBytesOffered returns the foreground bytes handed to the
 // spine, counted at enqueue.
-func (c *Cluster) ForegroundBytesOffered() int64 { return c.foregroundOffered }
+func (c *Cluster) ForegroundBytesOffered() int64 { return c.spine.ForegroundBytesOffered() }
 
 // ToRRevivals returns how many ToR switches have been revived.
 func (c *Cluster) ToRRevivals() int64 { return c.torRevivals }
@@ -117,72 +102,7 @@ func (c *Cluster) ServerRevivals() int64 { return c.serverRevivals }
 
 // SpineUtilization returns the cross-rack link's busy fraction (0 with a
 // single rack).
-func (c *Cluster) SpineUtilization() float64 {
-	if c.spine == nil {
-		return 0
-	}
-	return c.spine.Utilization()
-}
-
-// crossLatency is the added one-way latency between two racks (0 within
-// one rack).
-func (c *Cluster) crossLatency(a, b int) sim.Time {
-	if a == b {
-		return 0
-	}
-	return c.spineLatency
-}
-
-// frameHeaderBytes is the header cost every metered spine frame pays.
-const frameHeaderBytes = 64
-
-// messageBytes sizes one spine frame: a header, plus a page when the
-// message carries data. The single sizing rule for every foreground
-// class (client packets, handoffs, replication messages).
-func (c *Cluster) messageBytes(carriesPage bool) int64 {
-	if carriesPage {
-		return frameHeaderBytes + int64(c.rack.cfg.Geometry.PageSize)
-	}
-	return frameHeaderBytes
-}
-
-// frameBytes estimates a packet's wire size for spine metering: ops
-// that carry a page of data (writes and responses) move the page plus a
-// header; the rest are header-only control frames. Write acks are
-// overcounted as a page — the approximation errs toward congestion.
-func (c *Cluster) frameBytes(pkt packet.Packet) int64 {
-	return c.messageBytes(pkt.Op == packet.OpWrite || pkt.Op == packet.OpResponse)
-}
-
-// meterForeground reserves the spine for one foreground (non-repair)
-// payload and returns the extra delay the sender pays before the spine's
-// propagation latency: queueing behind earlier transfers — repair
-// batches included, so client and repair traffic contend realistically —
-// plus the transfer time itself. Free (and zero-delay) with one rack.
-func (c *Cluster) meterForeground(bytes int64) sim.Time {
-	return c.meterForegroundTraced(bytes, nil)
-}
-
-// meterForegroundTraced is meterForeground plus flight-recorder detail:
-// a non-nil sp gets the spine queueing wait and the transfer window as
-// child spans. Recording only reads the transfer's reservation times, so
-// traced behavior is byte-identical to untraced.
-func (c *Cluster) meterForegroundTraced(bytes int64, sp *trace.Span) sim.Time {
-	if c.spine == nil || bytes <= 0 {
-		return 0
-	}
-	c.foregroundOffered += bytes
-	start, end := c.spine.Transfer(bytes, func(_, _ sim.Time) { c.foregroundBytes += bytes })
-	if sp != nil {
-		if now := c.rack.eng.Now(); start > now {
-			sp.Child("spine_wait", now).EndAt(start)
-		}
-		x := sp.Child("spine_xfer", start)
-		x.EndAt(end)
-		x.Annotate(trace.Int("bytes", bytes))
-	}
-	return end - c.rack.eng.Now()
-}
+func (c *Cluster) SpineUtilization() float64 { return c.spine.Utilization() }
 
 // handoff carries a stripe read from one ToR to another over the spine,
 // metered as foreground traffic. A failed destination ToR drops it
@@ -191,29 +111,12 @@ func (c *Cluster) handoff(pkt packet.Packet, rack int) {
 	sp := c.rack.spanFor(pkt.Seq)
 	if sp != nil {
 		h := sp.Child("handoff", c.rack.eng.Now())
-		h.EndAt(c.rack.eng.Now() + c.spineLatency)
+		h.EndAt(c.rack.eng.Now() + c.spine.Propagation())
 		h.Annotate(trace.Int("to_rack", int64(rack)))
 	}
-	delay := c.spineLatency + c.meterForegroundTraced(c.frameBytes(pkt), sp)
+	delay := c.spine.Propagation() + c.spine.MeterForegroundTraced(c.spine.FrameBytes(pkt), sp)
 	pkt.AddLatency(delay)
 	c.rack.eng.AfterNamed(delay, "net.handoff", func(sim.Time) { c.tors[rack].Process(pkt) })
-}
-
-// crossFetch ships one repair payload (bytes of chunk data) over the
-// metered spine link, returning the transfer window and calling done
-// (may be nil) once the last byte has cleared the link. It is the single
-// accounting point for cross-rack repair traffic; transfers serialize on
-// the link, so aggregate repair throughput can never exceed the
-// configured cross-rack bandwidth.
-func (c *Cluster) crossFetch(bytes int64, done func(sim.Time)) (start, end sim.Time) {
-	c.crossRepairOffered += bytes
-	c.crossFetches++
-	return c.spine.Transfer(bytes, func(_, e sim.Time) {
-		c.crossRepairBytes += bytes
-		if done != nil {
-			done(e)
-		}
-	})
 }
 
 // failToR takes one rack's ToR down at the injection instant.

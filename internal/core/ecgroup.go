@@ -608,8 +608,8 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 					}
 					// The chunk ships back over the metered spine link,
 					// then the remote-rack edge hops.
-					fs, fe := r.cluster.crossFetch(chunkBytes, func(sim.Time) {
-						back := r.cluster.spineLatency + r.net.PathLatency(r.eng.Now(), 2)
+					fs, fe := r.cluster.spine.CrossFetch(chunkBytes, func(sim.Time) {
+						back := r.cluster.spine.Propagation() + r.net.PathLatency(r.eng.Now(), 2)
 						r.eng.AfterNamed(back, "ec.chunk_back", func(sim.Time) { finish() })
 					})
 					if recSpan != nil {
@@ -629,7 +629,7 @@ func (s *server) startDegradedRead(inst *instance, req *sched.Request) {
 		} else {
 			out := r.net.PathLatency(now, 2)
 			if cross {
-				out += r.cluster.spineLatency
+				out += r.cluster.spine.Propagation()
 			}
 			r.eng.AfterNamed(out, "ec.chunk_read", readChunk)
 		}
@@ -776,8 +776,8 @@ func (r *Rack) runRepairTask(g *ecGroup, task ec.RepairTask, charged int64) {
 			if !g.hasLocalParity() || !aggRacks[src.server.rackIdx] {
 				aggRacks[src.server.rackIdx] = true
 				crossBytes += batchBytes
-				if _, te := r.cluster.crossFetch(batchBytes, nil); te+r.cluster.spineLatency > e {
-					e = te + r.cluster.spineLatency
+				if _, te := r.cluster.spine.CrossFetch(batchBytes, nil); te+r.cluster.spine.Propagation() > e {
+					e = te + r.cluster.spine.Propagation()
 				}
 			}
 		}
@@ -848,7 +848,7 @@ func (r *Rack) reintegrate(g *ecGroup, holder int) {
 			continue
 		}
 		seen[tor] = true
-		delay := hop + r.cluster.crossLatency(adopter.server.rackIdx, tor.RackID())
+		delay := hop + r.cluster.spine.Latency(adopter.server.rackIdx, tor.RackID())
 		if delay > last {
 			last = delay
 		}

@@ -147,7 +147,7 @@ func (r *Rack) installFailoverOn(tors []*switchsim.Switch, deadInst, survivor *i
 	survivorIP := survivor.server.ip
 	for _, tor := range tors {
 		tor := tor
-		delay := hop + r.cluster.crossLatency(deadInst.server.rackIdx, tor.RackID())
+		delay := hop + r.cluster.spine.Latency(deadInst.server.rackIdx, tor.RackID())
 		r.eng.AfterNamed(delay, "failover.install", func(sim.Time) {
 			if tor.Down() {
 				return
@@ -166,7 +166,7 @@ func (r *Rack) installFailoverOn(tors []*switchsim.Switch, deadInst, survivor *i
 // steer around it.
 func (r *Rack) propagateMemberDead(g *ecGroup, deadInst *instance) {
 	home := r.torOf(deadInst.server)
-	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.spineLatency
+	hop := r.net.HopLatency(r.eng.Now()) + r.cluster.spine.Propagation()
 	deadID := deadInst.id
 	seen := map[*switchsim.Switch]bool{home: true}
 	for _, m := range g.insts {
@@ -402,7 +402,7 @@ func (r *Rack) clearPairFailover(inst *instance) {
 	id := inst.id
 	for j, tor := range r.cluster.tors {
 		tor := tor
-		delay := hop + r.cluster.crossLatency(inst.server.rackIdx, j)
+		delay := hop + r.cluster.spine.Latency(inst.server.rackIdx, j)
 		r.eng.AfterNamed(delay, "failover.clear", func(sim.Time) {
 			if tor.Down() {
 				return

@@ -49,8 +49,8 @@ func (r *Rack) startMetrics() {
 		}
 		return float64(n)
 	})
-	ts.Counter("repair_cross_mb", func() float64 { return float64(r.cluster.crossRepairBytes) / 1e6 })
-	ts.Counter("fg_cross_mb", func() float64 { return float64(r.cluster.foregroundBytes) / 1e6 })
+	ts.Counter("repair_cross_mb", func() float64 { return float64(r.cluster.spine.crossRepairBytes) / 1e6 })
+	ts.Counter("fg_cross_mb", func() float64 { return float64(r.cluster.spine.foregroundBytes) / 1e6 })
 	for i := range r.perRackReqs {
 		i := i
 		ts.Counter(fmt.Sprintf("rack%d_reqs", i), func() float64 { return float64(r.perRackReqs[i]) })

@@ -108,15 +108,15 @@ func TestSpineByteCountersReconcileMidRun(t *testing.T) {
 	sawInFlight := false
 	for now := 60 * sim.Millisecond; now <= 500*sim.Millisecond; now += sim.Millisecond {
 		r.eng.RunUntil(now)
-		if c.crossRepairBytes > c.crossRepairOffered {
+		if c.spine.crossRepairBytes > c.spine.crossRepairOffered {
 			t.Fatalf("at %d: repair delivered %d > offered %d",
-				now, c.crossRepairBytes, c.crossRepairOffered)
+				now, c.spine.crossRepairBytes, c.spine.crossRepairOffered)
 		}
-		if c.foregroundBytes > c.foregroundOffered {
+		if c.spine.foregroundBytes > c.spine.foregroundOffered {
 			t.Fatalf("at %d: foreground delivered %d > offered %d",
-				now, c.foregroundBytes, c.foregroundOffered)
+				now, c.spine.foregroundBytes, c.spine.foregroundOffered)
 		}
-		if c.crossRepairBytes < c.crossRepairOffered {
+		if c.spine.crossRepairBytes < c.spine.crossRepairOffered {
 			sawInFlight = true
 			break
 		}
@@ -124,21 +124,21 @@ func TestSpineByteCountersReconcileMidRun(t *testing.T) {
 	if !sawInFlight {
 		t.Error("never observed a repair transfer in flight; the regression scenario is dead")
 	}
-	if c.crossRepairOffered == 0 {
+	if c.spine.crossRepairOffered == 0 {
 		t.Fatal("the crash queued no cross-rack repair traffic")
 	}
 
 	r.eng.Run() // drain
-	if c.crossRepairBytes != c.crossRepairOffered {
+	if c.spine.crossRepairBytes != c.spine.crossRepairOffered {
 		t.Errorf("drained repair bytes unreconciled: delivered %d offered %d",
-			c.crossRepairBytes, c.crossRepairOffered)
+			c.spine.crossRepairBytes, c.spine.crossRepairOffered)
 	}
-	if c.foregroundBytes != c.foregroundOffered {
+	if c.spine.foregroundBytes != c.spine.foregroundOffered {
 		t.Errorf("drained foreground bytes unreconciled: delivered %d offered %d",
-			c.foregroundBytes, c.foregroundOffered)
+			c.spine.foregroundBytes, c.spine.foregroundOffered)
 	}
-	if c.crossRepairBytes == 0 || c.foregroundBytes == 0 {
+	if c.spine.crossRepairBytes == 0 || c.spine.foregroundBytes == 0 {
 		t.Errorf("spine moved no bytes: repair %d foreground %d",
-			c.crossRepairBytes, c.foregroundBytes)
+			c.spine.crossRepairBytes, c.spine.foregroundBytes)
 	}
 }

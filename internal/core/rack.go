@@ -132,7 +132,15 @@ func (st *reqState) decInflight() {
 // their rack index. With Config.Racks <= 1 it is exactly the paper's
 // single-rack testbed.
 type Rack struct {
-	cfg     Config
+	cfg Config
+	// group is the sharded topology: one engine per rack plus the
+	// coordinator shard (shard 0), where the spine boundary and the
+	// scenario driver live. The full per-I/O datapath currently runs on
+	// the coordinator engine — eng aliases group.Coordinator() — which
+	// keeps every Result byte-identical to the historical single-engine
+	// runs; the rack shards carry the parallel soak model (shardsim.go)
+	// until the datapath migrates onto them rack by rack.
+	group   *sim.ShardGroup
 	eng     *sim.Engine
 	net     *netsim.Network
 	cluster *Cluster
@@ -226,13 +234,14 @@ func NewRack(cfg Config) (*Rack, error) {
 	}
 	r := &Rack{
 		cfg:      cfg,
-		eng:      sim.NewEngine(),
+		group:    sim.NewShardGroup(cfg.racks(), cfg.CrossRackLatency),
 		rec:      stats.NewRecorder(),
 		reqs:     make(map[uint64]*reqState),
 		insts:    make(map[uint32]*instance),
 		rng:      sim.NewRNG(cfg.Seed),
 		clientIP: packet.IP4(10, 0, 0, 1),
 	}
+	r.eng = r.group.Coordinator()
 	r.net = netsim.New(cfg.Net, r.rng.Fork(100))
 	r.cluster = newCluster(r)
 	r.sw = r.cluster.tors[0]
@@ -240,7 +249,7 @@ func NewRack(cfg Config) (*Rack, error) {
 	r.perRackReqs = make([]int64, r.cluster.racks)
 	if cfg.RepairSLO.Enabled() {
 		// Validate guarantees Racks > 1, so the spine exists.
-		r.pacer = newRepairPacer(r.eng, r.cluster.spine, &cfg)
+		r.pacer = newRepairPacer(r.eng, r.cluster.spine.Link(), &cfg)
 	}
 
 	// Servers, rack by rack: server i lives in rack i/StorageServers and
@@ -467,12 +476,12 @@ func (r *Rack) hermesTransport(pri, rep *instance) replication.Transport {
 		dst := byNode(msg.To)
 		src := byNode(1 - msg.To)
 		delay := r.net.PathLatency(r.eng.Now(), 2) +
-			r.cluster.crossLatency(src.server.rackIdx, dst.server.rackIdx)
+			r.cluster.spine.Latency(src.server.rackIdx, dst.server.rackIdx)
 		if src.server.rackIdx != dst.server.rackIdx {
 			// Cross-rack replication is foreground spine traffic too:
 			// invalidations carry the written page, acks a bare header.
-			delay += r.cluster.meterForeground(
-				r.cluster.messageBytes(msg.Type == replication.MsgInv))
+			delay += r.cluster.spine.MeterForeground(
+				r.cluster.spine.MessageBytes(msg.Type == replication.MsgInv))
 		}
 		r.eng.AfterNamed(delay, "hermes.msg", func(sim.Time) {
 			if !dst.server.reachable() {
@@ -574,6 +583,11 @@ func (r *Rack) Keyspace() int {
 
 // Engine exposes the simulation engine (tests).
 func (r *Rack) Engine() *sim.Engine { return r.eng }
+
+// Shards exposes the rack's sharded topology: shard 0 is the coordinator
+// engine the datapath runs on (== Engine()), shards 1..racks the
+// per-rack engines.
+func (r *Rack) Shards() *sim.ShardGroup { return r.group }
 
 // Switch exposes the first rack's ToR switch (tests).
 func (r *Rack) Switch() *switchsim.Switch { return r.sw }

@@ -197,12 +197,12 @@ func (r *Rack) Run() *Result {
 		res.TailAttribution = res.Trace.TailAttribution(0.01)
 	}
 	res.Timelines = r.metrics
-	res.CrossRackRepairBytes = r.cluster.crossRepairBytes
-	res.CrossRackRepairBytesOffered = r.cluster.crossRepairOffered
-	res.CrossRackFetches = r.cluster.crossFetches
+	res.CrossRackRepairBytes = r.cluster.spine.crossRepairBytes
+	res.CrossRackRepairBytesOffered = r.cluster.spine.crossRepairOffered
+	res.CrossRackFetches = r.cluster.spine.crossFetches
 	res.SpineUtilization = r.cluster.SpineUtilization()
-	res.ForegroundCrossRackBytes = r.cluster.foregroundBytes
-	res.ForegroundCrossRackBytesOffered = r.cluster.foregroundOffered
+	res.ForegroundCrossRackBytes = r.cluster.spine.foregroundBytes
+	res.ForegroundCrossRackBytesOffered = r.cluster.spine.foregroundOffered
 	res.RepairCompletionTime = r.lastRepairDone
 	if r.pacer != nil {
 		res.SLOViolationFraction = r.pacer.violationFraction()

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"rackblox/internal/sim"
+	"rackblox/internal/walltime"
+)
+
+// TestShardedClusterParallelByteIdentical is the sharded model's replay
+// gate: across seeds and rack counts, the parallel run's merged result —
+// every counter, latency sum, clock, and per-handler event count — must
+// equal the sequential oracle's exactly.
+func TestShardedClusterParallelByteIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for _, racks := range []int{1, 2, 4, 8} {
+			cfg := ShardedClusterConfig{
+				Racks:             racks,
+				ServersPerRack:    16,
+				ChainsPerRack:     16,
+				OpsPerRack:        2_000,
+				CrossRackPermille: 50,
+				Seed:              seed,
+			}
+			seq := RunShardedCluster(cfg, false)
+			par := RunShardedCluster(cfg, true)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("seed=%d racks=%d: parallel diverged from sequential\nseq: %+v\npar: %+v",
+					seed, racks, seq, par)
+			}
+			if seq.Ops != int64(racks)*cfg.OpsPerRack {
+				t.Errorf("seed=%d racks=%d: ops=%d, want %d", seed, racks, seq.Ops, int64(racks)*cfg.OpsPerRack)
+			}
+			if racks > 1 && seq.CrossOps == 0 {
+				t.Errorf("seed=%d racks=%d: no ops crossed the spine", seed, racks)
+			}
+			if racks == 1 && (seq.CrossOps != 0 || seq.SpineBytes != 0) {
+				t.Errorf("seed=%d: single rack moved spine traffic: %+v", seed, seq)
+			}
+		}
+	}
+}
+
+// TestShardedClusterAccounting checks the cross-op bookkeeping: every
+// cross op moves exactly one request and one response frame, and latency
+// accounting covers every op.
+func TestShardedClusterAccounting(t *testing.T) {
+	cfg := ShardedClusterConfig{
+		Racks:             4,
+		ServersPerRack:    8,
+		ChainsPerRack:     8,
+		OpsPerRack:        1_000,
+		CrossRackPermille: 200,
+		PageSize:          4096,
+		Seed:              7,
+	}
+	res := RunShardedCluster(cfg, true)
+	wantBytes := 2 * res.CrossOps * (frameHeaderBytes + cfg.PageSize)
+	if res.SpineBytes != wantBytes {
+		t.Errorf("SpineBytes = %d, want %d (2 frames per cross op)", res.SpineBytes, wantBytes)
+	}
+	if res.ByHandler["spine.req"] != uint64(res.CrossOps) ||
+		res.ByHandler["spine.resp"] != uint64(res.CrossOps) {
+		t.Errorf("spine handler counts %v don't match CrossOps %d", res.ByHandler, res.CrossOps)
+	}
+	if res.ByHandler["shard.done"] != uint64(res.Ops) {
+		t.Errorf("shard.done = %d, want one completion per op (%d)", res.ByHandler["shard.done"], res.Ops)
+	}
+	if res.LatencySum <= 0 || res.MaxLatency <= 0 || res.End <= 0 {
+		t.Errorf("degenerate latency accounting: %+v", res)
+	}
+	// Cross ops pay at least four propagation hops; the max latency must
+	// reflect that floor.
+	if res.MaxLatency < 4*cfg.CrossRackLatency && res.CrossOps > 0 {
+		t.Errorf("MaxLatency %v below the 4-hop cross-rack floor", res.MaxLatency)
+	}
+}
+
+// TestShardedClusterSoak is the headline scale target: 10 racks × 10k
+// servers × 10M ops of full per-I/O modeling through the sharded runner,
+// inside a generous wall-clock ceiling. Skipped in -short runs.
+func TestShardedClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in short mode")
+	}
+	cfg := ShardedClusterConfig{
+		Racks:             10,
+		ServersPerRack:    1_000, // 10k servers total
+		ChainsPerRack:     256,
+		OpsPerRack:        1_000_000, // 10M ops total
+		CrossRackPermille: 20,
+		Seed:              1,
+	}
+	begin := walltime.Start()
+	res := RunShardedCluster(cfg, true)
+	elapsed := walltime.Elapsed(begin)
+	if res.Ops != 10_000_000 {
+		t.Fatalf("soak ran %d ops, want 10M", res.Ops)
+	}
+	if res.Events < uint64(res.Ops) {
+		t.Fatalf("events %d below op count %d", res.Events, res.Ops)
+	}
+	const ceiling = 120 * sim.Second
+	if sim.Time(elapsed) > ceiling {
+		t.Fatalf("soak took %v wall-clock, ceiling %v", elapsed, ceiling)
+	}
+	t.Logf("10 racks × 10k servers × 10M ops: %d events in %v (end=%v)",
+		res.Events, elapsed, res.End)
+}

@@ -1113,7 +1113,7 @@ func All() []string {
 		"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
 		"fig22", "fig23", "predictor", "gcablation", "figec", "figmr",
-		"figrl", "figsc", "figslo", "figra",
+		"figrl", "figsc", "figslo", "figra", "figsh",
 	}
 }
 
@@ -1173,6 +1173,8 @@ func ByIDWith(id string, scale Scale, opt Options) ([]*Table, error) {
 		return []*Table{FigSLO(scale, opt)}, nil
 	case "figra":
 		return []*Table{FigRA(scale, opt)}, nil
+	case "figsh":
+		return []*Table{FigSH(scale, opt)}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }

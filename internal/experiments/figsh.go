@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+
+	"rackblox/internal/core"
+	"rackblox/internal/walltime"
+)
+
+// FigSH measures the sharded runner's scaling: the per-I/O soak model
+// (core.RunShardedCluster) executed sequentially and in parallel at
+// 1..16 rack shards, one row per rack count.
+//
+// Two kinds of columns coexist deliberately. The simulation-domain
+// columns (ops, cross_ops, events, sim_ms, identical) are deterministic
+// and identical in both modes — identical=1 asserts, per row, that the
+// parallel run's merged result deep-equals the sequential oracle's, the
+// tentpole's byte-identity contract measured rather than assumed. The
+// wall-clock columns (wall_seq_ms, wall_par_ms, speedup, par_meps) are
+// host measurements through internal/walltime and vary run to run;
+// maxprocs records the host parallelism they were taken under, because
+// speedup is bounded by it — on a single-CPU host the curve is flat and
+// the column says why.
+func FigSH(scale Scale, opt Options) *Table {
+	t := &Table{ID: "FigSH",
+		Title: "Sharded simulation speedup vs rack count (parallel vs sequential oracle)",
+		Cols: []string{"ops", "cross_ops", "events", "sim_ms", "identical",
+			"wall_seq_ms", "wall_par_ms", "speedup", "par_meps", "maxprocs"}}
+
+	opsPerRack := int64(float64(200_000) * float64(scale))
+	if opsPerRack < 5_000 {
+		opsPerRack = 5_000
+	}
+	for _, racks := range []int{1, 2, 4, 8, 16} {
+		cfg := core.ShardedClusterConfig{
+			Racks:             racks,
+			ServersPerRack:    64,
+			ChainsPerRack:     64,
+			OpsPerRack:        opsPerRack,
+			CrossRackPermille: 20,
+			Seed:              1,
+		}
+		seqStart := walltime.Start()
+		seq := core.RunShardedCluster(cfg, false)
+		seqWall := walltime.Elapsed(seqStart)
+
+		parStart := walltime.Start()
+		par := core.RunShardedCluster(cfg, true)
+		parWall := walltime.Elapsed(parStart)
+
+		identical := 0.0
+		if reflect.DeepEqual(seq, par) {
+			identical = 1.0
+		}
+		speedup := 0.0
+		if parWall > 0 {
+			speedup = float64(seqWall) / float64(parWall)
+		}
+		parMeps := 0.0
+		if parWall > 0 {
+			parMeps = float64(par.Events) / parWall.Seconds() / 1e6
+		}
+		t.Rows = append(t.Rows, Row{Series: "sharded", X: fmt.Sprintf("%d racks", racks),
+			Values: map[string]float64{
+				"ops":         float64(seq.Ops),
+				"cross_ops":   float64(seq.CrossOps),
+				"events":      float64(seq.Events),
+				"sim_ms":      ms(int64(seq.End)),
+				"identical":   identical,
+				"wall_seq_ms": float64(seqWall.Milliseconds()),
+				"wall_par_ms": float64(parWall.Milliseconds()),
+				"speedup":     speedup,
+				"par_meps":    parMeps,
+				"maxprocs":    float64(runtime.GOMAXPROCS(0)),
+			}})
+	}
+	return t
+}

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Sharded-vs-sequential differential: the byte-coded schedule language
+// from differential_test.go, lifted to a ShardGroup. One script drives
+// two identical groups — one via RunSequential (the oracle), one via the
+// parallel Run — and the per-shard traces must match byte for byte.
+//
+// Determinism of the interpreter itself is load-bearing: every decision
+// a shard makes is consumed from that shard's own byte stream (the
+// script striped across shards), and a stream is only ever read by code
+// executing on its shard, so consumption order is the shard's event
+// order — deterministic by the engine contract — no matter which
+// goroutine runs the window.
+
+// shardScript interprets one byte-coded schedule against a group.
+type shardScript struct {
+	g       *ShardGroup
+	streams [][]byte // streams[s] is shard s's private decision stream
+	pos     []int
+	traces  [][]string
+	last    []Time // per-shard clock high-water mark, for REWIND detection
+	ids     []int
+}
+
+func newShardScript(g *ShardGroup, body []byte) *shardScript {
+	n := g.Shards()
+	s := &shardScript{
+		g:       g,
+		streams: make([][]byte, n+1), // stream n drives the harness
+		pos:     make([]int, n+1),
+		traces:  make([][]string, n),
+		last:    make([]Time, n),
+		ids:     make([]int, n),
+	}
+	for i, b := range body {
+		k := i % (n + 1)
+		s.streams[k] = append(s.streams[k], b)
+	}
+	for i := range s.last {
+		s.last[i] = -1
+	}
+	return s
+}
+
+func (s *shardScript) next(stream int) int {
+	if s.pos[stream] >= len(s.streams[stream]) {
+		return -1
+	}
+	b := int(s.streams[stream][s.pos[stream]])
+	s.pos[stream]++
+	return b
+}
+
+func (s *shardScript) observe(shard int, kind string, at Time, id int) {
+	if at < s.last[shard] {
+		s.traces[shard] = append(s.traces[shard],
+			fmt.Sprintf("REWIND %s %d after %d", kind, at, s.last[shard]))
+		return
+	}
+	s.last[shard] = at
+	s.traces[shard] = append(s.traces[shard], fmt.Sprintf("%s %d %d", kind, at, id))
+}
+
+var shardScriptLabels = []string{"alpha", "beta", "gamma"}
+
+// schedule consumes one byte from shard's stream and schedules one event
+// there. Executing events consume more bytes — from the stream of
+// whichever shard they run on — to nest local events, hop across shards
+// through the mailboxes, or stop their engine.
+func (s *shardScript) schedule(shard, depth int) {
+	b := s.next(shard)
+	if b < 0 {
+		return
+	}
+	myID := s.ids[shard]
+	s.ids[shard]++
+	s.g.Shard(shard).AfterNamed(Time(b%48), shardScriptLabels[(b/48)%3], s.event(shard, myID, depth))
+}
+
+func (s *shardScript) event(shard, id, depth int) EventFunc {
+	return func(now Time) {
+		s.observe(shard, "e", now, id)
+		c := s.next(shard)
+		if c < 0 {
+			return
+		}
+		if c%23 == 0 {
+			s.g.Shard(shard).Stop()
+		}
+		n := s.g.Shards()
+		if n > 1 && c%7 == 0 && depth < 6 {
+			// Cross-shard hop: the continuation executes on dst, with a
+			// fresh id assigned from src (send-time state is src-owned).
+			dst := (shard + 1 + (c/7)%(n-1)) % n
+			hopID := s.ids[shard]
+			s.ids[shard]++
+			s.g.Send(shard, dst, now+s.g.Lookahead()+Time(c%32),
+				"hop", s.event(dst, hopID, depth+1))
+		}
+		if depth < 6 {
+			for j := 0; j < c%3; j++ {
+				s.schedule(shard, depth+1)
+			}
+		}
+	}
+}
+
+// run interprets the full script: topology and tick config from the
+// header, initial events on every shard, then a harness loop of
+// Run/RunUntil slices and late scheduling, and a final drain. The
+// returned trace flattens the per-shard traces in shard order with a
+// group-aggregate footer.
+func runShardScript(script []byte, parallel bool) []string {
+	racks, lookahead, tick := 1, 64, 0
+	if len(script) >= 3 {
+		racks = 1 + int(script[0])%4
+		lookahead = 1 + int(script[1])%96
+		tick = int(script[2])
+	}
+	body := script
+	if len(script) > 3 {
+		body = script[3:]
+	}
+	g := NewShardGroup(racks, Time(lookahead))
+	s := newShardScript(g, body)
+
+	if tick%3 == 1 {
+		g.SetTick(Time(tick%29+1), func(shard int, at Time) {
+			s.observe(shard, "t", at, -1)
+		})
+	}
+	run := func() {
+		if parallel {
+			g.Run()
+		} else {
+			g.RunSequential()
+		}
+	}
+	runUntil := func(d Time) {
+		if parallel {
+			g.RunUntil(d)
+		} else {
+			g.RunUntilSequential(d)
+		}
+	}
+
+	for shard := 0; shard < g.Shards(); shard++ {
+		for i := 0; i < 2; i++ {
+			s.schedule(shard, 0)
+		}
+	}
+	driver := g.Shards() // the harness stream
+	for {
+		op := s.next(driver)
+		if op < 0 {
+			break
+		}
+		switch op % 4 {
+		case 0:
+			runUntil(g.Now() + Time(op*7+1))
+		case 1:
+			run()
+		case 2:
+			s.schedule(op%g.Shards(), 0)
+		case 3:
+			runUntil(g.Now() + Time(op%13))
+		}
+	}
+	run() // drain
+
+	var out []string
+	for shard, tr := range s.traces {
+		for _, line := range tr {
+			out = append(out, fmt.Sprintf("s%d %s", shard, line))
+		}
+	}
+	out = append(out, fmt.Sprintf("end now=%d pending=%d processed=%d by=%v",
+		g.Now(), g.Pending(), g.Processed(), g.ProcessedBy()))
+	return out
+}
+
+// diffShardModes runs one script in both modes and reports the first
+// divergence or clock rewind found, if any.
+func diffShardModes(script []byte) error {
+	seq := runShardScript(script, false)
+	par := runShardScript(script, true)
+	if len(seq) != len(par) {
+		return fmt.Errorf("trace lengths differ: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			return fmt.Errorf("traces diverge at %d: sequential %q, parallel %q", i, seq[i], par[i])
+		}
+		if len(seq[i]) >= 9 && seq[i][3:9] == "REWIND" {
+			return fmt.Errorf("shard clock rewound: %s", seq[i])
+		}
+	}
+	return nil
+}
+
+// Property: the parallel shard runner executes any random sharded
+// schedule — cross-shard hops, same-window bursts, Stop, RunUntil
+// slices, per-shard ticks — byte-identically to the sequential oracle.
+func TestShardedMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		script := make([]byte, int(n)+16)
+		r.Read(script)
+		if err := diffShardModes(script); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzShardSchedule fuzzes the sharded schedule language over both run
+// modes: any sequential-vs-parallel divergence, or any per-shard clock
+// rewind, is a crash. Seeds cover the interesting regions: multi-rack
+// topologies, minimal lookahead, tick observers on, stop-heavy and
+// hop-heavy streams.
+func FuzzShardSchedule(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 7, 7, 7, 14, 21, 28, 1, 2})                    // 4 racks, 1ns lookahead, ticks, hop-heavy
+	f.Add([]byte{1, 95, 0, 23, 46, 69, 92, 0, 0, 1})                     // 2 racks, wide lookahead, stop-heavy
+	f.Add([]byte{0, 13, 4, 200, 100, 50, 25, 12, 6, 3, 1, 0})            // single rack: coordinator + 1
+	f.Add([]byte{2, 31, 7, 47, 47, 47, 47, 0, 0, 0, 0, 5, 9, 13, 2, 1})  // same-timestamp bursts across 3 racks
+	f.Add([]byte{3, 1, 1, 255, 128, 64, 32, 16, 8, 4, 2, 1, 3, 3, 3, 3}) // RunUntil slicing under ticks
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 2048 {
+			t.Skip("script too large")
+		}
+		if err := diffShardModes(script); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+// The shard runner: the ONE file in the simulation tree that may spawn
+// goroutines.
+//
+// Everything under internal/ is single-threaded by design — the rackvet
+// goroutinediscipline analyzer rejects `go` statements anywhere else —
+// because goroutine interleaving is the cheapest way to lose bit-exact
+// replay. Concurrency is safe here, and only here, because of what the
+// barrier protocol in shard.go guarantees: within a window each worker
+// executes exclusively its own shard's engine and appends exclusively to
+// its own shard's outgoing mailboxes; shards exchange no other state.
+// The WaitGroup barrier orders every window against the coordinator's
+// mailbox drain, so the parallel schedule is the sequential schedule —
+// the sharded-vs-sequential differential fuzzer and the byte-identity
+// tests hold Run to that.
+package sim
+
+import "sync"
+
+// shardWorkers is one parallel run's worker pool: one goroutine per
+// shard, fed window deadlines over per-worker channels and joined at a
+// WaitGroup barrier after every window.
+type shardWorkers struct {
+	windows []chan Time
+	wg      sync.WaitGroup
+}
+
+// startWorkers launches one worker per shard. Workers exit when their
+// window channel closes (stop); the pool lives for a single Run call,
+// so an abandoned group leaks nothing.
+func (g *ShardGroup) startWorkers() *shardWorkers {
+	w := &shardWorkers{windows: make([]chan Time, len(g.engines))}
+	for i := range g.engines {
+		i := i
+		ch := make(chan Time)
+		w.windows[i] = ch
+		go func() {
+			for end := range ch {
+				g.engines[i].RunUntil(end)
+				w.wg.Done()
+			}
+		}()
+	}
+	return w
+}
+
+// runWindow executes one window on all shards in parallel and barriers:
+// when it returns, every shard has advanced to the window end and all
+// outgoing mail is visible to the caller (the WaitGroup establishes the
+// happens-before edge).
+func (w *shardWorkers) runWindow(end Time) {
+	w.wg.Add(len(w.windows))
+	for _, ch := range w.windows {
+		ch <- end
+	}
+	w.wg.Wait()
+}
+
+// stop shuts the pool down; all workers have already drained their
+// window (runWindow barriers before stop can be called).
+func (w *shardWorkers) stop() {
+	for _, ch := range w.windows {
+		close(ch)
+	}
+}
+
+// Run drives the shards to completion with one goroutine per shard,
+// synchronized at conservative-lookahead window barriers. The executed
+// schedule — and every observable result — is byte-identical to
+// RunSequential; only the wall-clock time changes.
+func (g *ShardGroup) Run() {
+	w := g.startWorkers()
+	defer w.stop()
+	g.runLoop(w.runWindow)
+}
+
+// RunUntil is Run bounded by a deadline: events at or before it execute,
+// later ones stay pending, and every shard's clock advances to the
+// deadline, like Engine.RunUntil.
+func (g *ShardGroup) RunUntil(deadline Time) {
+	w := g.startWorkers()
+	defer w.stop()
+	g.runLoopUntil(deadline, w.runWindow)
+}
